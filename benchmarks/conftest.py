@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  Two
+kinds of benchmarks coexist:
+
+* *timing* benchmarks (Fig. 7a/7b/7d/7e, Fig. 10) use the ``benchmark``
+  fixture directly on the algorithm under test, so pytest-benchmark's
+  statistics are the reproduced series;
+* *quality / analysis* benchmarks (Fig. 4, Fig. 7f/7g, Fig. 11, Appendix G)
+  run the corresponding experiment module once inside the benchmark and
+  attach the resulting table via ``benchmark.extra_info`` (also printed to
+  stdout with ``-s``).
+
+The workload sizes default to the small end of the paper's suite so the whole
+harness finishes in minutes; pass ``--bench-max-index`` to grow them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import kronecker_suite
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-max-index", action="store", type=int, default=3,
+        help="largest Kronecker workload index (1-9) used by scalability benches")
+
+
+@pytest.fixture(scope="session")
+def bench_max_index(request) -> int:
+    """Largest synthetic workload index used by the scalability benchmarks."""
+    return request.config.getoption("--bench-max-index")
+
+
+@pytest.fixture(scope="session")
+def synthetic_workloads(bench_max_index):
+    """The Fig. 6a workload suite, generated once per benchmark session."""
+    return kronecker_suite(max_index=bench_max_index, seed=0)
+
+
+def attach_table(benchmark, table) -> None:
+    """Store a ResultTable on the benchmark record and echo it to stdout."""
+    benchmark.extra_info["table"] = table.rows
+    print()
+    print(table.to_text())

@@ -1,0 +1,28 @@
+"""Benchmark E12 — Appendix G: convergence-bound comparison.
+
+Regenerates the comparison between the exact LinBP/LinBP* thresholds and the
+Mooij–Kappen sufficient bound for standard BP, including the empirical
+observation ``ρ(A_edge) + 1 ≈ ρ(A)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_bound_comparison
+
+
+def test_appendix_g_bound_comparison(benchmark, bench_max_index):
+    max_index = min(bench_max_index, 2)
+    table = benchmark.pedantic(run_bound_comparison,
+                               kwargs={"max_index": max_index},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    for row in table.rows:
+        # rho(A_edge) < rho(A), with a gap of roughly one on these graphs.
+        assert row["rho_edge_adjacency"] < row["rho_adjacency"]
+        assert 0.3 < row["rho_gap"] < 2.5
+        # On multi-class network workloads the LinBP* criterion admits a wider
+        # range of couplings than the Mooij-Kappen BP bound (c(H) > rho(H)).
+        assert row["linbp_star_epsilon_threshold"] > row["mooij_kappen_epsilon_threshold"]

@@ -1,0 +1,35 @@
+"""Benchmarks for the future-work extensions (estimated Ĥ, incremental LinBP).
+
+These cover the two extension points the paper leaves open: learning the
+coupling matrix from partially labeled data (footnote 1) and incremental
+maintenance of LinBP (Section 8).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import (
+    run_estimated_coupling_experiment,
+    run_incremental_linbp_experiment,
+)
+
+
+def test_extension_estimated_coupling(benchmark):
+    table = benchmark.pedantic(run_estimated_coupling_experiment,
+                               kwargs={"num_papers": 400}, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    rows = {row["coupling"]: row for row in table.rows}
+    assert rows["estimated from labels"]["linbp_truth_accuracy"] > \
+        rows["mis-specified (heterophily)"]["linbp_truth_accuracy"]
+
+
+def test_extension_incremental_linbp(benchmark, bench_max_index):
+    graph_index = min(bench_max_index, 3)
+    table = benchmark.pedantic(run_incremental_linbp_experiment,
+                               kwargs={"graph_index": graph_index},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    for row in table.rows:
+        assert row["max_difference_vs_scratch"] < 1e-7

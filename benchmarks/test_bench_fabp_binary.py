@@ -1,0 +1,45 @@
+"""Benchmark E13 — Appendix E: the binary-case (FABP) closed form.
+
+Times the scalar k = 2 closed form against the general multi-class LinBP
+closed form on the same workload and checks they produce identical scores
+(the appendix's equivalence), with the scalar solver being at least as fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fabp import binary_coupling, fabp_closed_form
+from repro.core.linbp import linbp_closed_form
+from repro.graphs import random_graph
+
+H_RESIDUAL = 0.05
+
+
+@pytest.fixture(scope="module")
+def binary_workload():
+    graph = random_graph(800, 0.008, seed=11)
+    rng = np.random.default_rng(5)
+    scalars = np.zeros(graph.num_nodes)
+    labeled = rng.choice(graph.num_nodes, size=40, replace=False)
+    scalars[labeled] = rng.choice([-0.1, 0.1], size=labeled.size)
+    return graph, scalars
+
+
+@pytest.mark.benchmark(group="fabp-binary")
+def test_binary_scalar_closed_form(benchmark, binary_workload):
+    graph, scalars = binary_workload
+    result = benchmark(fabp_closed_form, graph, H_RESIDUAL, scalars,
+                       variant="linbp")
+    assert result.shape == (graph.num_nodes,)
+
+
+@pytest.mark.benchmark(group="fabp-binary")
+def test_binary_via_multiclass_closed_form(benchmark, binary_workload):
+    graph, scalars = binary_workload
+    explicit = np.column_stack([scalars, -scalars])
+    coupling = binary_coupling(H_RESIDUAL)
+    result = benchmark(linbp_closed_form, graph, coupling, explicit)
+    scalar_reference = fabp_closed_form(graph, H_RESIDUAL, scalars, variant="linbp")
+    assert np.allclose(result.beliefs[:, 0], scalar_reference, atol=1e-9)

@@ -1,0 +1,29 @@
+"""Benchmark E9 — Fig. 10a: runtime versus the fraction of explicit beliefs.
+
+Regenerates the sensitivity sweep: LinBP's cost is essentially flat (slightly
+rising), SBP's cost is essentially flat (slightly falling) as the labeled
+fraction grows — both effects are minor, which is the figure's point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_explicit_fraction_sweep
+
+FRACTIONS = (0.05, 0.2, 0.5, 0.8, 0.95)
+
+
+def test_fig10a_explicit_fraction(benchmark, bench_max_index):
+    graph_index = min(bench_max_index, 3)
+    table = benchmark.pedantic(run_explicit_fraction_sweep,
+                               kwargs={"graph_index": graph_index,
+                                       "fractions": FRACTIONS},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    linbp_seconds = [row["linbp_seconds"] for row in table]
+    sbp_seconds = [row["sbp_seconds"] for row in table]
+    # Neither method should blow up across the sweep (both stay within ~5x).
+    assert max(linbp_seconds) < 5 * min(linbp_seconds) + 0.05
+    assert max(sbp_seconds) < 5 * min(sbp_seconds) + 0.05

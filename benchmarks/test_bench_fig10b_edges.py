@@ -1,0 +1,29 @@
+"""Benchmark E10 — Fig. 10b: incremental edge insertion vs SBP from scratch.
+
+Regenerates the edge-update crossover: ΔSBP (Algorithm 4) beats recomputation
+for small fractions of new edges; as the fraction grows the advantage shrinks
+and eventually reverses (the paper sees the crossover around 3 %).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_incremental_edges
+
+FRACTIONS = (0.005, 0.01, 0.03, 0.06, 0.10)
+
+
+def test_fig10b_incremental_edges(benchmark, bench_max_index):
+    graph_index = min(bench_max_index, 3)
+    table = benchmark.pedantic(run_incremental_edges,
+                               kwargs={"graph_index": graph_index,
+                                       "fractions": FRACTIONS,
+                                       "engine": "memory"},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    # More new edges -> more nodes repaired (monotone within noise), and the
+    # number of inserted edges matches the requested fractions.
+    assert table.rows[0]["num_new_edges"] < table.rows[-1]["num_new_edges"]
+    assert all(row["delta_sbp_seconds"] > 0 for row in table)

@@ -1,0 +1,37 @@
+"""Benchmark E11 — Fig. 11: quality on the DBLP-like heterogeneous graph.
+
+Regenerates the F1-vs-ε_H series of LinBP, LinBP* and SBP against BP on the
+synthetic DBLP-like workload (see DESIGN.md for the data substitution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.datasets import generate_dblp_like
+from repro.experiments import run_dblp_quality
+
+EPSILONS = tuple(np.logspace(-5, -3, 4).tolist())
+
+
+@pytest.fixture(scope="module")
+def dblp_dataset():
+    return generate_dblp_like(num_papers=800, num_authors=480, num_conferences=16,
+                              num_terms=220, seed=0)
+
+
+def test_fig11_dblp_quality(benchmark, dblp_dataset):
+    table = benchmark.pedantic(run_dblp_quality,
+                               kwargs={"dataset": dblp_dataset,
+                                       "epsilons": EPSILONS},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    for row in table.rows:
+        # Fig. 11b: LinBP/LinBP* track BP very closely; SBP stays high but
+        # loses a few points to ties.
+        assert row["linbp_f1"] > 0.9
+        assert row["linbp_star_f1"] > 0.9
+        assert row["sbp_f1"] > 0.85
+        assert row["linbp_f1"] >= row["sbp_f1"] - 0.02

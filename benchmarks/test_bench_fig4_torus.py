@@ -1,0 +1,32 @@
+"""Benchmark E1 — Fig. 4 / Example 20: the torus convergence study.
+
+Regenerates the four panels of Fig. 4 (standardized beliefs and standard
+deviations of node v4 for BP, LinBP, LinBP* and SBP across the coupling
+scale) and times one full sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_torus_sweep, torus_reference_values
+
+
+def test_fig4_torus_sweep(benchmark):
+    epsilons = np.round(np.logspace(np.log10(0.01), np.log10(0.6), 8), 6).tolist()
+    table = benchmark.pedantic(run_torus_sweep, kwargs={"epsilons": epsilons},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    reference = torus_reference_values()
+    # The reproduced series must converge to the SBP limit quoted in the paper.
+    first_row = table.rows[0]
+    assert np.allclose(first_row["linbp_std_beliefs"],
+                       reference["sbp_standardized_v4"], atol=0.01)
+    # And the divergence point must match the exact criterion (0.488).
+    for row in table.rows:
+        if row["epsilon"] < 0.45:
+            assert row["linbp_converged"]
+        if row["epsilon"] > 0.52:
+            assert not row["linbp_converged"]

@@ -1,0 +1,27 @@
+"""Benchmark E2 — Fig. 6a: generation of the synthetic workload suite.
+
+Times the Kronecker-graph generation plus explicit-belief sampling and prints
+the regenerated Fig. 6a table (nodes, edges, labeled counts per graph).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_dataset_table
+
+
+def test_fig6_dataset_table(benchmark, bench_max_index):
+    table = benchmark.pedantic(run_dataset_table,
+                               kwargs={"max_index": bench_max_index},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    assert len(table) == bench_max_index
+    # The paper's growth pattern: nodes triple, edges roughly quadruple.
+    for previous, current in zip(table.rows, table.rows[1:]):
+        assert current["nodes"] == 3 * previous["nodes"]
+        assert current["edges"] > 2.5 * previous["edges"]
+    # 5 % / 1 permille of the nodes carry (initial / update) explicit beliefs.
+    for row in table.rows:
+        assert row["explicit_5pct"] == pytest.approx(0.05 * row["nodes"], rel=0.1)

@@ -1,0 +1,48 @@
+"""Benchmark E3 — Fig. 7a and the JAVA columns of Fig. 7c.
+
+Times the main-memory implementations of standard BP and LinBP for 5
+iterations on each synthetic workload.  The paper's headline shape — LinBP is
+orders of magnitude faster than message-passing BP and scales roughly
+linearly in the number of edges — should be visible in the pytest-benchmark
+statistics grouped by graph index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bp import belief_propagation
+from repro.core.linbp import linbp
+
+EPSILON = 0.001
+ITERATIONS = 5
+
+
+def _workload(synthetic_workloads, index):
+    workload = synthetic_workloads[index - 1]
+    return workload.graph, workload.coupling.scaled(EPSILON), workload.explicit
+
+
+@pytest.mark.parametrize("index", [1, 2, 3])
+@pytest.mark.benchmark(group="fig7a-linbp")
+def test_fig7a_linbp_memory(benchmark, synthetic_workloads, index):
+    if index > len(synthetic_workloads):
+        pytest.skip("workload index beyond --bench-max-index")
+    graph, coupling, explicit = _workload(synthetic_workloads, index)
+    result = benchmark(linbp, graph, coupling, explicit, num_iterations=ITERATIONS)
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_directed_edges
+    assert result.iterations == ITERATIONS
+
+
+@pytest.mark.parametrize("index", [1, 2, 3])
+@pytest.mark.benchmark(group="fig7a-bp")
+def test_fig7a_bp_memory(benchmark, synthetic_workloads, index):
+    if index > len(synthetic_workloads):
+        pytest.skip("workload index beyond --bench-max-index")
+    graph, coupling, explicit = _workload(synthetic_workloads, index)
+    result = benchmark(belief_propagation, graph, coupling, explicit,
+                       max_iterations=ITERATIONS, tolerance=1e-300)
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_directed_edges
+    assert result.iterations == ITERATIONS

@@ -1,0 +1,71 @@
+"""Benchmark E4 — Fig. 7b and the SQL columns of Fig. 7c.
+
+Times the relational (SQL-style) implementations: LinBP (Algorithm 1, 5
+iterations), SBP (Algorithm 2, until termination), and incremental ΔSBP
+(Algorithm 3 applied to the 1 permille update workload).  The paper's shape —
+SBP about an order of magnitude faster than relational LinBP, ΔSBP another
+factor faster — should show up in the per-group statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.linbp_sql import RelationalLinBP
+from repro.relational.sbp_incremental import add_explicit_beliefs_sql
+from repro.relational.sbp_sql import RelationalSBP
+
+EPSILON = 0.001
+ITERATIONS = 5
+INDICES = [1, 2]
+
+
+def _workload(synthetic_workloads, index):
+    workload = synthetic_workloads[index - 1]
+    return workload
+
+
+@pytest.mark.parametrize("index", INDICES)
+@pytest.mark.benchmark(group="fig7b-linbp-sql")
+def test_fig7b_linbp_sql(benchmark, synthetic_workloads, index):
+    workload = _workload(synthetic_workloads, index)
+    coupling = workload.coupling.scaled(EPSILON)
+
+    def run():
+        return RelationalLinBP(workload.graph, coupling).run(
+            workload.explicit, num_iterations=ITERATIONS)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["edges"] = workload.num_edges
+    assert result.iterations == ITERATIONS
+
+
+@pytest.mark.parametrize("index", INDICES)
+@pytest.mark.benchmark(group="fig7b-sbp-sql")
+def test_fig7b_sbp_sql(benchmark, synthetic_workloads, index):
+    workload = _workload(synthetic_workloads, index)
+    coupling = workload.coupling.scaled(EPSILON)
+
+    def run():
+        return RelationalSBP(workload.graph, coupling).run(workload.explicit)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["edges"] = workload.num_edges
+    assert result.converged
+
+
+@pytest.mark.parametrize("index", INDICES)
+@pytest.mark.benchmark(group="fig7b-delta-sbp-sql")
+def test_fig7b_delta_sbp_sql(benchmark, synthetic_workloads, index):
+    workload = _workload(synthetic_workloads, index)
+    coupling = workload.coupling.scaled(EPSILON)
+
+    def setup():
+        runner = RelationalSBP(workload.graph, coupling)
+        runner.run(workload.explicit)
+        return (runner, workload.explicit_update), {}
+
+    result = benchmark.pedantic(add_explicit_beliefs_sql, setup=setup, rounds=2,
+                                iterations=1)
+    benchmark.extra_info["edges"] = workload.num_edges
+    assert result.extra["nodes_updated"] >= 0

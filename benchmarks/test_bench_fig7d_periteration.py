@@ -1,0 +1,28 @@
+"""Benchmark E5 — Fig. 7d: per-iteration cost of LinBP vs SBP.
+
+Regenerates the per-iteration timing series: LinBP touches every edge in
+every iteration (flat cost), SBP touches each edge at most once across the
+whole run (rising then falling cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_per_iteration_timing
+
+
+def test_fig7d_per_iteration(benchmark, bench_max_index):
+    graph_index = min(bench_max_index, 3)
+    table = benchmark.pedantic(run_per_iteration_timing,
+                               kwargs={"graph_index": graph_index,
+                                       "num_iterations": 5},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    linbp_edges = [row["linbp_edges"] for row in table if row["linbp_edges"]]
+    sbp_total_edges = sum(row["sbp_edges"] for row in table)
+    # LinBP revisits all edges every iteration; SBP's total over all
+    # iterations never exceeds one pass over the edge set.
+    assert len(set(linbp_edges)) == 1
+    assert sbp_total_edges <= linbp_edges[0]

@@ -1,0 +1,31 @@
+"""Benchmark E6 — Fig. 7e: incremental ΔSBP vs SBP from scratch.
+
+Regenerates the crossover plot: with few new labels ΔSBP wins, as the
+fraction of new labels grows its cost approaches (and eventually exceeds) a
+full recomputation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_incremental_beliefs
+
+FRACTIONS = (0.02, 0.1, 0.3, 0.6, 1.0)
+
+
+def test_fig7e_incremental_beliefs(benchmark, bench_max_index):
+    graph_index = min(bench_max_index, 3)
+    table = benchmark.pedantic(
+        run_incremental_beliefs,
+        kwargs={"graph_index": graph_index, "new_fractions": FRACTIONS,
+                "engine": "memory"},
+        rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    # The repaired region grows monotonically with the update fraction, and
+    # for the smallest fraction the incremental update must beat the full
+    # recomputation (the left side of the paper's crossover plot).
+    repaired = [row["nodes_updated"] for row in table]
+    assert repaired == sorted(repaired)
+    assert table.rows[0]["delta_sbp_seconds"] < table.rows[0]["sbp_scratch_seconds"]

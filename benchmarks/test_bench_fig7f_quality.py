@@ -1,0 +1,29 @@
+"""Benchmark E7 — Fig. 7f: recall and precision of LinBP with respect to BP.
+
+Regenerates the quality sweep over the coupling scale; inside the convergence
+region LinBP reproduces BP's top-belief assignment essentially perfectly
+(the paper reports > 99.9 % accuracy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_quality_sweep
+
+EPSILONS = tuple(np.logspace(-5, -2.6, 5).tolist())
+
+
+def test_fig7f_linbp_vs_bp(benchmark, bench_max_index):
+    graph_index = min(bench_max_index, 3)
+    table = benchmark.pedantic(run_quality_sweep,
+                               kwargs={"graph_index": graph_index,
+                                       "epsilons": EPSILONS},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    for row in table.rows:
+        if row["within_sufficient_bound"]:
+            assert row["linbp_vs_bp_recall"] > 0.99
+            assert row["linbp_vs_bp_precision"] > 0.99

@@ -1,0 +1,31 @@
+"""Benchmark E8 — Fig. 7g: SBP and LinBP* with respect to LinBP.
+
+Regenerates the second quality panel: LinBP* tracks LinBP almost exactly, SBP
+tracks LinBP with small losses caused by exact ties (recall stays higher than
+precision, as the paper explains).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments import run_quality_sweep
+
+EPSILONS = tuple(np.logspace(-5, -2.6, 5).tolist())
+
+
+def test_fig7g_sbp_and_star_vs_linbp(benchmark, bench_max_index):
+    graph_index = min(bench_max_index, 3)
+    table = benchmark.pedantic(run_quality_sweep,
+                               kwargs={"graph_index": graph_index,
+                                       "epsilons": EPSILONS},
+                               rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    for row in table.rows:
+        if row["within_sufficient_bound"]:
+            assert row["linbp_star_vs_linbp_recall"] > 0.99
+            assert row["sbp_vs_linbp_f1"] > 0.95
+            # Ties make SBP return extra classes: recall >= precision.
+            assert row["sbp_vs_linbp_recall"] >= row["sbp_vs_linbp_precision"] - 1e-9

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Convergence analysis: when does LinBP converge, and how sharp is Lemma 8?
+
+The paper's main theoretical payoff is an *exact* convergence criterion:
+LinBP converges if and only if ``ρ(Ĥ⊗A − Ĥ²⊗D) < 1`` (Lemma 8), with cheaper
+sufficient bounds via matrix norms (Lemma 9).  This example
+
+1. reproduces the Example 20 thresholds on the paper's torus graph,
+2. sweeps the coupling scale across the threshold and shows that the
+   iteration's behaviour flips exactly where Lemma 8 predicts,
+3. compares the exact criterion, the norm bounds, and the Mooij–Kappen
+   sufficient bound for standard BP (Appendix G) on a Kronecker graph.
+
+Run with::
+
+    python examples/convergence_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import convergence, linbp
+from repro.coupling import fraud_matrix
+from repro.datasets import kronecker_suite
+from repro.experiments import run_bound_comparison, torus_workload
+
+
+def torus_thresholds() -> None:
+    graph, coupling, explicit = torus_workload()
+    report = convergence.analyze(graph, coupling)
+    print("Example 20 (8-node torus, Fig. 1c coupling):")
+    print(f"  rho(A)                     = {report.spectral_radius_adjacency:.4f}")
+    print(f"  rho(Ho)                    = {report.spectral_radius_coupling_unscaled:.4f}")
+    print(f"  exact threshold, LinBP     = {report.exact_threshold_linbp:.4f}  (paper: 0.488)")
+    print(f"  exact threshold, LinBP*    = {report.exact_threshold_linbp_star:.4f}  (paper: 0.658)")
+    print(f"  norm bound, LinBP          = {report.sufficient_threshold_linbp:.4f}  (paper: 0.360)")
+    print(f"  norm bound, LinBP*         = {report.sufficient_threshold_linbp_star:.4f}  (paper: 0.455)")
+    print()
+    print("sweeping epsilon_H across the LinBP threshold:")
+    print(f"  {'epsilon':>8} {'Lemma 8 predicts':>17} {'iteration behaviour':>20}")
+    for epsilon in (0.3, 0.45, 0.48, 0.50, 0.55, 0.65):
+        predicted = "converges" if report.converges_linbp(epsilon) else "diverges"
+        result = linbp(graph, coupling.scaled(epsilon), explicit,
+                       max_iterations=3000)
+        if result.converged:
+            observed = f"converged ({result.iterations} it)"
+        else:
+            growing = result.residual_history[-1] > result.residual_history[0]
+            observed = "diverging" if growing else "not converged yet"
+        print(f"  {epsilon:>8.2f} {predicted:>17} {observed:>20}")
+    print()
+
+
+def bound_comparison() -> None:
+    print("Appendix G: exact LinBP thresholds vs the Mooij-Kappen BP bound")
+    table = run_bound_comparison(max_index=2)
+    print(table.to_text())
+    print()
+    print("On these graphs the LinBP criteria admit a wider range of coupling "
+          "strengths than the sufficient BP bound, matching the paper's "
+          "multi-class observation c(H) > rho(H_hat).")
+
+
+def main() -> None:
+    torus_thresholds()
+    bound_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Research-area classification on a DBLP-like heterogeneous graph (Fig. 11).
+
+A bibliographic network connects papers to their authors, conferences and
+title terms.  Only ~10 % of the nodes carry a research-area label (AI, DB,
+DM, IR); homophily over the co-occurrence structure lets the propagation
+algorithms label the rest.  This example reproduces the paper's DBLP workflow
+on the synthetic generator (the original snapshot is not redistributable):
+
+1. generate the heterogeneous graph with a planted 4-class structure,
+2. sweep the coupling scale and report the F1 agreement of LinBP / LinBP* /
+   SBP with standard BP (the paper's Fig. 11b),
+3. report accuracy against the planted ground truth, broken down by node type.
+
+Run with::
+
+    python examples/dblp_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import belief_propagation, linbp, sbp
+from repro.datasets import generate_dblp_like
+from repro.datasets.dblp import CLASS_NAMES, NODE_TYPES
+from repro.experiments import run_dblp_quality
+from repro.metrics import labeling_accuracy
+
+
+def main() -> None:
+    dataset = generate_dblp_like(num_papers=1200, num_authors=700,
+                                 num_conferences=16, num_terms=320, seed=2)
+    description = dataset.describe()
+    print("DBLP-like workload:", description)
+    print()
+
+    # Fig. 11b: F1 of the linearized methods against BP across epsilon.
+    table = run_dblp_quality(dataset=dataset, epsilons=[1e-5, 1e-4, 1e-3])
+    print(table.to_text())
+    print()
+
+    # A closer look at one convergent scale: accuracy per node type.
+    coupling = dataset.coupling.scaled(1e-3)
+    explicit = dataset.explicit
+    labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+    unlabeled = np.setdiff1d(np.arange(dataset.graph.num_nodes), labeled)
+    results = {
+        "BP": belief_propagation(dataset.graph, coupling, explicit),
+        "LinBP": linbp(dataset.graph, coupling, explicit),
+        "SBP": sbp(dataset.graph, coupling, explicit),
+    }
+    print(f"accuracy against the planted ground truth (unlabeled nodes only):")
+    header = "method  " + "".join(f"{name:>12}" for name in NODE_TYPES) + f"{'all':>12}"
+    print(header)
+    for name, result in results.items():
+        predicted = result.hard_labels()
+        row = f"{name:<8}"
+        for type_index in range(len(NODE_TYPES)):
+            nodes = [node for node in unlabeled
+                     if dataset.node_types[node] == type_index]
+            row += f"{labeling_accuracy(dataset.true_labels, predicted, nodes):>12.3f}"
+        row += f"{labeling_accuracy(dataset.true_labels, predicted, unlabeled):>12.3f}"
+        print(row)
+
+    # Show a few concrete predictions for unlabeled papers.
+    linbp_labels = results["LinBP"].hard_labels()
+    papers = [node for node in unlabeled if dataset.node_types[node] == 0][:6]
+    print("\nsample predictions for unlabeled papers (LinBP):")
+    for paper in papers:
+        print(f"  paper {paper:>5}: predicted {CLASS_NAMES[linbp_labels[paper]]:<4} "
+              f"(true {CLASS_NAMES[dataset.true_labels[paper]]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Fraud detection in an online auction network (the paper's Fig. 1c scenario).
+
+Three classes of users interact in an auction marketplace:
+
+* **Honest (H)** users trade with other honest users and with accomplices;
+* **Accomplices (A)** build reputation by trading with honest users and feed
+  fraudsters, but avoid each other;
+* **Fraudsters (F)** interact mostly with accomplices (to build reputation)
+  and only hit honest users right before disappearing.
+
+This mixes homophily (H–H) with heterophily (A–F), which is exactly what the
+general coupling matrix of Fig. 1c encodes.  Starting from a few manually
+investigated accounts, LinBP propagates suspicion through the transaction
+graph; the example then compares LinBP, LinBP* and SBP and prints the most
+suspicious uninvestigated accounts.
+
+Run with::
+
+    python examples/fraud_detection.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import BeliefMatrix, Graph, fraud_matrix, linbp, linbp_star, sbp
+from repro.core import convergence
+from repro.metrics import labeling_accuracy
+
+CLASS_NAMES = ("honest", "accomplice", "fraudster")
+
+
+def build_auction_network(num_honest: int = 60, num_accomplices: int = 12,
+                          num_fraudsters: int = 8,
+                          seed: int = 7) -> Tuple[Graph, np.ndarray]:
+    """Generate a transaction graph with planted H/A/F roles.
+
+    Returns the graph and the planted ground-truth labels (0=H, 1=A, 2=F).
+    The interaction probabilities follow the qualitative description in the
+    paper's introduction: H-H and H-A are common, A-A is absent, A-F is very
+    common, F-H is rare, F-F is rare.
+    """
+    rng = np.random.default_rng(seed)
+    labels = np.array([0] * num_honest + [1] * num_accomplices + [2] * num_fraudsters)
+    num_nodes = labels.size
+    interaction_probability = {
+        (0, 0): 0.06, (0, 1): 0.10, (0, 2): 0.01,
+        (1, 1): 0.00, (1, 2): 0.45, (2, 2): 0.02,
+    }
+    edges = []
+    for source in range(num_nodes):
+        for target in range(source + 1, num_nodes):
+            key = tuple(sorted((labels[source], labels[target])))
+            if rng.random() < interaction_probability[key]:
+                edges.append((source, target))
+    return Graph.from_edges(edges, num_nodes=num_nodes), labels
+
+
+def main() -> None:
+    graph, true_labels = build_auction_network()
+    print(f"auction network: {graph.num_nodes} accounts, "
+          f"{graph.num_edges} transactions")
+
+    # A handful of accounts have been investigated manually.
+    investigated: Dict[int, int] = {0: 0, 5: 0, 17: 0,          # honest
+                                    62: 1, 65: 1,               # accomplices
+                                    73: 2, 75: 2}               # fraudsters
+    explicit = BeliefMatrix.from_labels(investigated, num_nodes=graph.num_nodes,
+                                        num_classes=3, magnitude=0.1)
+
+    # Pick the coupling scale from the sufficient convergence bound (Lemma 9).
+    base = fraud_matrix()
+    safe_epsilon = 0.5 * convergence.max_epsilon_sufficient(graph, base)
+    coupling = base.scaled(safe_epsilon)
+    print(f"coupling scale epsilon_H = {safe_epsilon:.4f} "
+          f"(half of the Lemma 9 bound)\n")
+
+    results = {
+        "LinBP": linbp(graph, coupling, explicit.residuals),
+        "LinBP*": linbp_star(graph, coupling, explicit.residuals),
+        "SBP": sbp(graph, coupling, explicit.residuals),
+    }
+    uninvestigated = [node for node in range(graph.num_nodes)
+                      if node not in investigated]
+    print(f"{'method':<8} {'accuracy on uninvestigated accounts':<38} iterations")
+    for name, result in results.items():
+        accuracy = labeling_accuracy(true_labels, result.hard_labels(),
+                                     restrict_to=uninvestigated)
+        print(f"{name:<8} {accuracy:<38.3f} {result.iterations}")
+
+    # Rank the most suspicious accounts by their fraudster belief under LinBP.
+    linbp_beliefs = results["LinBP"].beliefs
+    fraud_scores = linbp_beliefs[:, 2]
+    ranked = [node for node in np.argsort(-fraud_scores) if node in uninvestigated]
+    print("\nmost suspicious uninvestigated accounts (LinBP fraud score):")
+    for node in ranked[:8]:
+        print(f"  account {node:>3}: score {fraud_scores[node]:+.5f} "
+              f"(true role: {CLASS_NAMES[true_labels[node]]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Incremental maintenance with SBP on a dynamic network.
+
+SBP's nearest-labeled-neighbour semantics makes it cheap to maintain when the
+graph changes (Section 6.3 / Appendix C of the paper):
+
+* when an analyst labels new accounts, Algorithm 3 repairs only the region of
+  the graph whose nearest labeled neighbour changed;
+* when new edges appear, Algorithm 4 repairs only the nodes whose shortest
+  path to a label got shorter (or gained a new shortest path).
+
+This example simulates a stream of label- and edge-updates on a Kronecker
+graph and compares the incremental cost (nodes touched) with recomputation
+from scratch, verifying at every step that both produce identical beliefs.
+
+Run with::
+
+    python examples/incremental_updates.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import SBP, sbp
+from repro.datasets import kronecker_suite, sample_explicit_beliefs, sample_explicit_nodes
+
+
+def main() -> None:
+    workload = kronecker_suite(max_index=3, seed=1)[2]
+    graph = workload.graph
+    coupling = workload.coupling.scaled(0.01)
+    print(f"graph #3 of the synthetic suite: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges")
+
+    # Start with 2 % of the nodes labeled.
+    initial_nodes = sample_explicit_nodes(graph.num_nodes, 0.02, seed=3)
+    explicit = sample_explicit_beliefs(graph.num_nodes, 3, initial_nodes, seed=4)
+    runner = SBP(graph, coupling)
+    start = time.perf_counter()
+    runner.run(explicit)
+    print(f"initial SBP run: {time.perf_counter() - start:.3f}s, "
+          f"{len(initial_nodes)} labeled nodes\n")
+
+    rng = np.random.default_rng(9)
+    print(f"{'step':<6} {'update':<22} {'nodes repaired':>14} "
+          f"{'incremental [s]':>16} {'from scratch [s]':>17} {'identical':>10}")
+    cumulative_explicit = explicit.copy()
+    for step in range(1, 6):
+        if step % 2 == 1:
+            # Label three new random nodes.
+            new_nodes = sample_explicit_nodes(graph.num_nodes, 3 / graph.num_nodes,
+                                              seed=100 + step,
+                                              exclude=np.nonzero(
+                                                  np.any(cumulative_explicit != 0,
+                                                         axis=1))[0].tolist())
+            update = sample_explicit_beliefs(graph.num_nodes, 3, new_nodes,
+                                             seed=200 + step)
+            cumulative_explicit += update
+            start = time.perf_counter()
+            result = runner.add_explicit_beliefs(
+                {int(node): update[node] for node in new_nodes})
+            incremental_seconds = time.perf_counter() - start
+            description = f"+{len(new_nodes)} labels"
+        else:
+            # Insert five new random edges.
+            new_edges = []
+            while len(new_edges) < 5:
+                source, target = rng.integers(0, graph.num_nodes, size=2)
+                if source != target and not runner.graph.has_edge(int(source),
+                                                                  int(target)):
+                    new_edges.append((int(source), int(target)))
+            start = time.perf_counter()
+            result = runner.add_edges(new_edges)
+            incremental_seconds = time.perf_counter() - start
+            description = f"+{len(new_edges)} edges"
+        # Reference: recompute from scratch on the current graph and labels.
+        start = time.perf_counter()
+        scratch = sbp(runner.graph, coupling, cumulative_explicit)
+        scratch_seconds = time.perf_counter() - start
+        identical = np.allclose(result.beliefs, scratch.beliefs, atol=1e-10)
+        print(f"{step:<6} {description:<22} {result.extra['nodes_updated']:>14} "
+              f"{incremental_seconds:>16.4f} {scratch_seconds:>17.4f} "
+              f"{str(identical):>10}")
+
+    print("\nincremental updates touch only a small part of the graph and stay "
+          "bit-compatible with recomputation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` also works in offline environments where pip cannot
+create an isolated build environment (legacy editable installs go through
+``setup.py develop`` and need no network access).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,202 @@
+"""Command-line interface: label graphs, analyze convergence, run experiments.
+
+The CLI mirrors how the paper's artifacts would be used from a shell:
+
+``python -m repro label``
+    Run BP / LinBP / LinBP* / SBP on a graph stored as an edge list plus a
+    belief table (the relational ``A`` and ``E`` layouts of Section 5.3) and
+    write the final beliefs and top labels.
+
+``python -m repro analyze``
+    Print the convergence report of Lemmas 8/9 for a graph and coupling
+    matrix: spectral radii and the largest safe coupling scale.
+
+``python -m repro experiment``
+    Re-run one of the paper's experiments (Fig. 4, Fig. 6a, Fig. 7a–g,
+    Fig. 10, Fig. 11, Appendix G) and print the resulting table.
+
+Every command works on plain text files and prints plain text, so results can
+be piped into other tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.core import belief_propagation, convergence, linbp, linbp_star, sbp
+from repro.coupling.matrices import CouplingMatrix
+from repro.exceptions import ReproError
+from repro.graphs import io as graph_io
+
+__all__ = ["main", "build_parser"]
+
+METHODS: Dict[str, Callable] = {
+    "bp": belief_propagation,
+    "linbp": linbp,
+    "linbp*": linbp_star,
+    "sbp": sbp,
+}
+
+
+def _load_coupling(path: Path, epsilon: float) -> CouplingMatrix:
+    """Load a coupling matrix from a JSON file.
+
+    The file holds either ``{"residual": [[...]]}`` (an unscaled residual
+    matrix Ĥo) or ``{"stochastic": [[...]]}`` (a doubly stochastic matrix as
+    in Fig. 1); class names may be supplied under ``"classes"``.
+    """
+    data = json.loads(Path(path).read_text())
+    class_names = data.get("classes")
+    if "residual" in data:
+        return CouplingMatrix.from_residual(np.asarray(data["residual"], dtype=float),
+                                            epsilon=epsilon, class_names=class_names)
+    if "stochastic" in data:
+        return CouplingMatrix.from_stochastic(np.asarray(data["stochastic"], dtype=float),
+                                              epsilon=epsilon, class_names=class_names)
+    raise ReproError("coupling file must contain a 'residual' or 'stochastic' matrix")
+
+
+def _command_label(args: argparse.Namespace) -> int:
+    graph = graph_io.read_edge_list(args.graph, num_nodes=args.num_nodes)
+    coupling = _load_coupling(args.coupling, args.epsilon)
+    explicit = graph_io.read_belief_table(args.beliefs, num_nodes=graph.num_nodes,
+                                          num_classes=coupling.num_classes)
+    method = METHODS[args.method]
+    if args.method in ("bp", "linbp", "linbp*"):
+        result = method(graph, coupling, explicit, max_iterations=args.max_iterations)
+    else:
+        result = method(graph, coupling, explicit)
+    print(result.summary())
+    labels = result.hard_labels()
+    if args.output:
+        graph_io.write_belief_table(result.beliefs, args.output,
+                                    skip_zero_rows=False)
+        print(f"final beliefs written to {args.output}")
+    shown = 0
+    for node in range(graph.num_nodes):
+        if labels[node] < 0:
+            continue
+        print(f"{node}\t{coupling.name_of(int(labels[node]))}")
+        shown += 1
+        if args.limit and shown >= args.limit:
+            print(f"... ({graph.num_nodes - shown} more nodes)")
+            break
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    graph = graph_io.read_edge_list(args.graph, num_nodes=args.num_nodes)
+    coupling = _load_coupling(args.coupling, 1.0)
+    report = convergence.analyze(graph, coupling,
+                                 include_mooij_kappen=args.mooij_kappen)
+    print(f"nodes:                          {graph.num_nodes}")
+    print(f"edges (undirected):             {graph.num_edges}")
+    print(f"rho(A):                         {report.spectral_radius_adjacency:.6f}")
+    print(f"rho(Ho):                        {report.spectral_radius_coupling_unscaled:.6f}")
+    print(f"exact epsilon threshold LinBP:  {report.exact_threshold_linbp:.6f}")
+    print(f"exact epsilon threshold LinBP*: {report.exact_threshold_linbp_star:.6f}")
+    print(f"norm-bound threshold LinBP:     {report.sufficient_threshold_linbp:.6f}")
+    print(f"norm-bound threshold LinBP*:    {report.sufficient_threshold_linbp_star:.6f}")
+    if report.mooij_kappen_threshold_bp is not None:
+        print(f"Mooij-Kappen c(H)*rho(A_edge):  {report.mooij_kappen_threshold_bp:.6f}")
+    return 0
+
+
+EXPERIMENTS: Dict[str, str] = {
+    "fig4": "run_torus_sweep",
+    "fig6a": "run_dataset_table",
+    "fig7a": "run_memory_scalability",
+    "fig7b": "run_relational_scalability",
+    "fig7c": "run_timing_table",
+    "fig7d": "run_per_iteration_timing",
+    "fig7e": "run_incremental_beliefs",
+    "fig7fg": "run_quality_sweep",
+    "fig10a": "run_explicit_fraction_sweep",
+    "fig10b": "run_incremental_edges",
+    "fig11": "run_dblp_quality",
+    "appendix-g": "run_bound_comparison",
+}
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    function = getattr(experiments, EXPERIMENTS[args.name])
+    table = function()
+    print(table.to_text())
+    if args.output:
+        Path(args.output).write_text(table.to_text() + "\n")
+        print(f"\ntable written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Linearized and Single-Pass Belief Propagation (VLDB 2015) "
+                    "— reproduction CLI")
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    label = subparsers.add_parser(
+        "label", help="run BP/LinBP/LinBP*/SBP on an edge list + belief table")
+    label.add_argument("--graph", required=True, type=Path,
+                       help="edge list file: 'source target [weight]' per line")
+    label.add_argument("--beliefs", required=True, type=Path,
+                       help="explicit beliefs file: 'node class belief' per line")
+    label.add_argument("--coupling", required=True, type=Path,
+                       help="JSON file with a 'residual' or 'stochastic' matrix")
+    label.add_argument("--method", choices=sorted(METHODS), default="linbp")
+    label.add_argument("--epsilon", type=float, default=1.0,
+                       help="coupling scale epsilon_H (default: 1.0)")
+    label.add_argument("--num-nodes", type=int, default=None,
+                       help="total number of nodes (default: inferred)")
+    label.add_argument("--max-iterations", type=int, default=100)
+    label.add_argument("--output", type=Path, default=None,
+                       help="write the final belief table to this path")
+    label.add_argument("--limit", type=int, default=20,
+                       help="print at most this many node labels (0 = all)")
+    label.set_defaults(handler=_command_label)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="print the convergence report (Lemmas 8 and 9)")
+    analyze.add_argument("--graph", required=True, type=Path)
+    analyze.add_argument("--coupling", required=True, type=Path)
+    analyze.add_argument("--num-nodes", type=int, default=None)
+    analyze.add_argument("--mooij-kappen", action="store_true",
+                         help="also compute the Mooij-Kappen BP bound (slow)")
+    analyze.set_defaults(handler=_command_analyze)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="re-run one of the paper's experiments")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS),
+                            help="which table/figure to regenerate")
+    experiment.add_argument("--output", type=Path, default=None)
+    experiment.set_defaults(handler=_command_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,283 @@
+"""Convergence criteria for LinBP and LinBP* (Lemmas 8, 9, 23; Appendix G).
+
+The linearisation makes exact convergence analysis possible: the LinBP update
+is a Jacobi iteration for the linear system of Proposition 7, so it converges
+for any initialisation if and only if the spectral radius of the update matrix
+is below 1:
+
+* **LinBP** (Eq. 16): ``ρ(Ĥ ⊗ A − Ĥ² ⊗ D) < 1``
+* **LinBP*** (Eq. 17): ``ρ(Ĥ) < 1 / ρ(A)``
+
+Because spectral radii can be expensive, Lemma 9 gives *sufficient* bounds in
+terms of any sub-multiplicative norms; the paper recommends taking the minimum
+over the Frobenius, induced-1 and induced-infinity norms.  Lemma 23 gives an
+even simpler (and looser) bound ``||Ĥ|| < 1 / (2 ||A||)``.
+
+Appendix G compares against the Mooij–Kappen sufficient bound for *standard*
+BP, ``c(H) · ρ(A_edge) < 1``, where ``A_edge`` is the directed-edge adjacency
+("non-backtracking"-style) matrix and ``c(H)`` a potential-dependent constant.
+This module implements all of these so experiment E12 can reproduce the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.coupling.matrices import CouplingMatrix
+from repro.exceptions import ValidationError
+from repro.graphs import linalg
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "ConvergenceReport",
+    "exact_convergence_linbp",
+    "exact_convergence_linbp_star",
+    "sufficient_norm_bound_linbp",
+    "sufficient_norm_bound_linbp_star",
+    "simple_norm_bound_linbp",
+    "max_epsilon_exact",
+    "max_epsilon_sufficient",
+    "edge_adjacency_matrix",
+    "mooij_kappen_constant",
+    "mooij_kappen_bound",
+    "analyze",
+]
+
+
+@dataclass
+class ConvergenceReport:
+    """Summary of every criterion for a (graph, coupling) pair.
+
+    All thresholds are expressed on the scale factor ``ε_H``: the iteration is
+    guaranteed (exact) or predicted (sufficient) to converge for any
+    ``ε_H`` strictly below the respective threshold, keeping ``Ĥo`` fixed.
+    """
+
+    spectral_radius_adjacency: float
+    spectral_radius_coupling_unscaled: float
+    exact_threshold_linbp: float
+    exact_threshold_linbp_star: float
+    sufficient_threshold_linbp: float
+    sufficient_threshold_linbp_star: float
+    mooij_kappen_threshold_bp: Optional[float] = None
+
+    def converges_linbp(self, epsilon: float) -> bool:
+        """Exact criterion for LinBP at scale ``epsilon``."""
+        return epsilon < self.exact_threshold_linbp
+
+    def converges_linbp_star(self, epsilon: float) -> bool:
+        """Exact criterion for LinBP* at scale ``epsilon``."""
+        return epsilon < self.exact_threshold_linbp_star
+
+
+# ---------------------------------------------------------------------- #
+# exact criteria (Lemma 8)
+# ---------------------------------------------------------------------- #
+def exact_convergence_linbp(graph: Graph, coupling: CouplingMatrix) -> bool:
+    """Exact (necessary and sufficient) criterion for LinBP (Eq. 16)."""
+    radius = linalg.kron_spectral_radius(coupling.residual, graph.adjacency,
+                                         degree=graph.degree_matrix())
+    return radius < 1.0
+
+
+def exact_convergence_linbp_star(graph: Graph, coupling: CouplingMatrix) -> bool:
+    """Exact criterion for LinBP* (Eq. 17): ``ρ(Ĥ)·ρ(A) < 1``."""
+    return coupling.spectral_radius() * graph.spectral_radius() < 1.0
+
+
+# ---------------------------------------------------------------------- #
+# sufficient norm criteria (Lemma 9, Lemma 23)
+# ---------------------------------------------------------------------- #
+def sufficient_norm_bound_linbp(graph: Graph) -> float:
+    """Largest ``||Ĥ||`` guaranteed to converge for LinBP (Lemma 9, Eq. 18).
+
+    Returns ``(sqrt(||A||² + 4||D||) − ||A||) / (2||D||)`` with each norm taken
+    as the minimum over the paper's norm set M.
+    """
+    norm_a = linalg.minimum_norm(graph.adjacency)
+    norm_d = linalg.minimum_norm(graph.degree_matrix())
+    if norm_d == 0.0:
+        return np.inf if norm_a == 0.0 else 1.0 / norm_a
+    return (np.sqrt(norm_a ** 2 + 4.0 * norm_d) - norm_a) / (2.0 * norm_d)
+
+
+def sufficient_norm_bound_linbp_star(graph: Graph) -> float:
+    """Largest ``||Ĥ||`` guaranteed to converge for LinBP* (Lemma 9, Eq. 19)."""
+    norm_a = linalg.minimum_norm(graph.adjacency)
+    return np.inf if norm_a == 0.0 else 1.0 / norm_a
+
+
+def simple_norm_bound_linbp(graph: Graph) -> float:
+    """The looser Lemma 23 bound ``||Ĥ|| < 1 / (2||A||)`` (induced norms only)."""
+    norm_a = min(linalg.induced_1_norm(graph.adjacency),
+                 linalg.induced_inf_norm(graph.adjacency))
+    return np.inf if norm_a == 0.0 else 1.0 / (2.0 * norm_a)
+
+
+# ---------------------------------------------------------------------- #
+# thresholds on the scaling factor epsilon_H
+# ---------------------------------------------------------------------- #
+def max_epsilon_exact(graph: Graph, coupling: CouplingMatrix,
+                      echo_cancellation: bool = True,
+                      tolerance: float = 1e-4) -> float:
+    """Largest ``ε_H`` (for the given unscaled ``Ĥo``) with guaranteed convergence.
+
+    For LinBP* the criterion ``ρ(ε Ĥo)·ρ(A) < 1`` is linear in ``ε`` so the
+    threshold is ``1 / (ρ(Ĥo)·ρ(A))``.  For full LinBP the criterion
+    ``ρ(ε Ĥo ⊗ A − ε² Ĥo² ⊗ D) < 1`` is solved by bisection on ``ε`` (the
+    spectral radius is continuous and increasing in ``ε`` over the relevant
+    range).
+    """
+    rho_h = coupling.spectral_radius(scaled=False)
+    rho_a = graph.spectral_radius()
+    if rho_h == 0.0 or rho_a == 0.0:
+        return np.inf
+    star_threshold = 1.0 / (rho_h * rho_a)
+    if not echo_cancellation:
+        return star_threshold
+    degree = graph.degree_matrix()
+    unscaled = coupling.unscaled_residual
+
+    def radius(epsilon: float) -> float:
+        scaled = epsilon * unscaled
+        return linalg.kron_spectral_radius(scaled, graph.adjacency, degree=degree)
+
+    # Bracket the root of radius(eps) = 1.  The echo term only shrinks the
+    # radius slightly, so the LinBP threshold is close to (and below ~2x of)
+    # the LinBP* threshold; expand the bracket defensively.
+    low, high = 0.0, star_threshold
+    while radius(high) < 1.0 and high < 1e6:
+        low, high = high, high * 2.0
+    if high >= 1e6:
+        return np.inf
+    while high - low > tolerance * max(high, 1e-12):
+        middle = 0.5 * (low + high)
+        if radius(middle) < 1.0:
+            low = middle
+        else:
+            high = middle
+    return 0.5 * (low + high)
+
+
+def max_epsilon_sufficient(graph: Graph, coupling: CouplingMatrix,
+                           echo_cancellation: bool = True) -> float:
+    """Largest ``ε_H`` allowed by the sufficient norm bounds of Lemma 9."""
+    norm_h = coupling.minimum_norm(scaled=False)
+    if norm_h == 0.0:
+        return np.inf
+    bound = sufficient_norm_bound_linbp(graph) if echo_cancellation \
+        else sufficient_norm_bound_linbp_star(graph)
+    return bound / norm_h
+
+
+# ---------------------------------------------------------------------- #
+# Mooij–Kappen bound for standard BP (Appendix G)
+# ---------------------------------------------------------------------- #
+def edge_adjacency_matrix(graph: Graph) -> sp.csr_matrix:
+    """The directed-edge ("non-backtracking") adjacency matrix ``A_edge``.
+
+    Rows and columns are directed edges; the entry for (edge ``u -> v``,
+    edge ``w -> u``) is 1 whenever ``w != v`` — i.e. edge ``u -> v`` receives
+    influence from every edge pointing into ``u`` except the reverse of
+    itself.  This is the matrix whose spectral radius appears in the
+    Mooij–Kappen sufficient convergence condition (Appendix G).
+    """
+    adjacency = graph.adjacency
+    targets = adjacency.indices.astype(np.int64)
+    sources = np.repeat(np.arange(graph.num_nodes, dtype=np.int64),
+                        np.diff(adjacency.indptr))
+    num_edges = sources.size
+    position = {(int(s), int(t)): index
+                for index, (s, t) in enumerate(zip(sources, targets))}
+    rows, cols = [], []
+    # For the entry (u->v, w->u): iterate over edges u->v, then over in-edges w->u.
+    in_edges_of = {}
+    for index, target in enumerate(targets):
+        in_edges_of.setdefault(int(target), []).append(index)
+    for index, (source, target) in enumerate(zip(sources, targets)):
+        reverse_index = position[(int(target), int(source))]
+        for incoming in in_edges_of.get(int(source), []):
+            if incoming == reverse_index:
+                continue
+            rows.append(index)
+            cols.append(incoming)
+    data = np.ones(len(rows))
+    return sp.coo_matrix((data, (rows, cols)),
+                         shape=(num_edges, num_edges)).tocsr()
+
+
+def mooij_kappen_constant(coupling: CouplingMatrix) -> float:
+    """The potential-dependent constant ``c(H)`` of the Mooij–Kappen bound.
+
+    ``c(H) = max_{c1 != c2} max_{d1 != d2} tanh(¼ |log (H[c1,d1] H[c2,d2]) /
+    (H[c2,d1] H[c1,d2])|)``, evaluated on the (non-centered) stochastic
+    coupling matrix.  Entries of ``H`` that are zero or negative make the
+    log-ratio unbounded; the constant is then 1 (tanh of infinity), which
+    means the bound can never certify convergence.
+    """
+    stochastic = coupling.stochastic
+    k = stochastic.shape[0]
+    worst = 0.0
+    for c1 in range(k):
+        for c2 in range(k):
+            if c1 == c2:
+                continue
+            for d1 in range(k):
+                for d2 in range(k):
+                    if d1 == d2:
+                        continue
+                    numerator = stochastic[c1, d1] * stochastic[c2, d2]
+                    denominator = stochastic[c2, d1] * stochastic[c1, d2]
+                    if numerator <= 0.0 or denominator <= 0.0:
+                        return 1.0
+                    value = np.tanh(0.25 * abs(np.log(numerator / denominator)))
+                    worst = max(worst, float(value))
+    return worst
+
+
+def mooij_kappen_bound(graph: Graph, coupling: CouplingMatrix) -> float:
+    """The Mooij–Kappen quantity ``c(H) · ρ(A_edge)``; BP convergence is
+    guaranteed when it is below 1."""
+    constant = mooij_kappen_constant(coupling)
+    radius = linalg.spectral_radius(edge_adjacency_matrix(graph))
+    return constant * radius
+
+
+# ---------------------------------------------------------------------- #
+# combined report
+# ---------------------------------------------------------------------- #
+def analyze(graph: Graph, coupling: CouplingMatrix,
+            include_mooij_kappen: bool = False) -> ConvergenceReport:
+    """Compute every threshold for a (graph, unscaled coupling) pair.
+
+    The Mooij–Kappen threshold requires building the directed-edge matrix
+    (quadratic in the maximum degree), so it is opt-in.
+    """
+    rho_a = graph.spectral_radius()
+    rho_h = coupling.spectral_radius(scaled=False)
+    exact_star = np.inf if rho_a == 0.0 or rho_h == 0.0 else 1.0 / (rho_a * rho_h)
+    exact_full = max_epsilon_exact(graph, coupling, echo_cancellation=True)
+    sufficient_full = max_epsilon_sufficient(graph, coupling, echo_cancellation=True)
+    sufficient_star = max_epsilon_sufficient(graph, coupling, echo_cancellation=False)
+    mooij_threshold = None
+    if include_mooij_kappen:
+        constant = mooij_kappen_constant(coupling.scaled(1.0))
+        edge_radius = linalg.spectral_radius(edge_adjacency_matrix(graph))
+        # c(eps * Ho + 1/k) grows roughly linearly in eps for small eps; we
+        # report the bound at the unscaled coupling for reference and solve
+        # for the threshold numerically in the experiment module instead.
+        mooij_threshold = constant * edge_radius
+    return ConvergenceReport(
+        spectral_radius_adjacency=rho_a,
+        spectral_radius_coupling_unscaled=rho_h,
+        exact_threshold_linbp=exact_full,
+        exact_threshold_linbp_star=exact_star,
+        sufficient_threshold_linbp=sufficient_full,
+        sufficient_threshold_linbp_star=sufficient_star,
+        mooij_kappen_threshold_bp=mooij_threshold,
+    )

@@ -1,0 +1,156 @@
+"""Estimating the coupling matrix from partially labeled data.
+
+The paper assumes the heterophily matrix ``H`` is "given, e.g. by domain
+experts" and explicitly flags learning it from existing (partially) labeled
+data as future work (footnote 1).  This module implements the natural
+estimator for that task:
+
+1. restrict the graph to edges whose *both* endpoints carry explicit labels,
+2. count the (weighted) label co-occurrences across those edges into a k x k
+   contingency matrix (counting each undirected edge in both directions so the
+   result is symmetric),
+3. optionally smooth the counts (additive / Laplace smoothing, important when
+   few labeled-labeled edges exist),
+4. balance the contingency matrix into a doubly stochastic coupling matrix
+   with Sinkhorn iterations (the form LinBP's derivation requires), and
+5. centre it into the residual ``Ĥo`` used by the algorithms.
+
+The estimator is consistent in the planted-partition sense: as the number of
+observed labeled-labeled edges grows, the balanced contingency matrix
+approaches the row/column-normalised edge-probability matrix of the
+generating process, which is exactly the coupling the propagation algorithms
+expect.  The ablation experiment
+:func:`repro.experiments.ablations.run_estimated_coupling_experiment`
+quantifies how much accuracy is lost when ``Ĥ`` is estimated instead of
+given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.coupling.matrices import CouplingMatrix, make_doubly_stochastic
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+
+__all__ = ["CouplingEstimate", "estimate_coupling", "label_cooccurrence_counts"]
+
+
+@dataclass(frozen=True)
+class CouplingEstimate:
+    """Result of :func:`estimate_coupling`.
+
+    Attributes
+    ----------
+    coupling:
+        The estimated :class:`~repro.coupling.matrices.CouplingMatrix`
+        (unscaled residual; scale it with ``.scaled(epsilon)`` as usual).
+    counts:
+        The raw (smoothed) label co-occurrence counts the estimate is based
+        on; useful for diagnostics.
+    num_observed_edges:
+        How many edges had both endpoints labeled (before smoothing).  A small
+        number here means the estimate rests on little evidence.
+    """
+
+    coupling: CouplingMatrix
+    counts: np.ndarray
+    num_observed_edges: int
+
+
+def label_cooccurrence_counts(graph: Graph, labels: Mapping[int, int] | np.ndarray,
+                              num_classes: int,
+                              use_weights: bool = True) -> Tuple[np.ndarray, int]:
+    """Count label pairs across edges whose both endpoints are labeled.
+
+    Parameters
+    ----------
+    graph:
+        The undirected, possibly weighted network.
+    labels:
+        Either a mapping ``node -> class`` for the labeled nodes, or a length
+        ``n`` integer array with −1 for unlabeled nodes.
+    num_classes:
+        Number of classes ``k``.
+    use_weights:
+        When true, each edge contributes its weight instead of 1.
+
+    Returns
+    -------
+    (counts, num_observed_edges):
+        ``counts[i, j]`` accumulates the evidence that class ``i`` neighbours
+        class ``j``; the matrix is symmetric because each undirected edge is
+        counted in both directions.
+    """
+    if num_classes < 2:
+        raise ValidationError("num_classes must be >= 2")
+    if isinstance(labels, Mapping):
+        label_array = np.full(graph.num_nodes, -1, dtype=np.int64)
+        for node, label in labels.items():
+            if not 0 <= int(node) < graph.num_nodes:
+                raise ValidationError(f"labeled node {node} out of range")
+            label_array[int(node)] = int(label)
+    else:
+        label_array = np.asarray(labels, dtype=np.int64)
+        if label_array.shape != (graph.num_nodes,):
+            raise ValidationError(
+                f"labels array must have length {graph.num_nodes}")
+    if label_array.max(initial=-1) >= num_classes:
+        raise ValidationError("labels contain a class id >= num_classes")
+    counts = np.zeros((num_classes, num_classes))
+    observed = 0
+    for edge in graph.edges():
+        label_source = label_array[edge.source]
+        label_target = label_array[edge.target]
+        if label_source < 0 or label_target < 0:
+            continue
+        contribution = edge.weight if use_weights else 1.0
+        counts[label_source, label_target] += contribution
+        counts[label_target, label_source] += contribution
+        observed += 1
+    return counts, observed
+
+
+def estimate_coupling(graph: Graph, labels: Mapping[int, int] | np.ndarray,
+                      num_classes: int, smoothing: float = 1.0,
+                      use_weights: bool = True,
+                      class_names: Optional[Tuple[str, ...]] = None) -> CouplingEstimate:
+    """Estimate the (unscaled) coupling matrix from labeled nodes.
+
+    Parameters
+    ----------
+    graph, labels, num_classes, use_weights:
+        As in :func:`label_cooccurrence_counts`.
+    smoothing:
+        Additive smoothing applied to every cell of the contingency matrix
+        before balancing.  ``1.0`` (add-one) is a sensible default; larger
+        values pull the estimate towards the uninformative coupling, smaller
+        values trust sparse evidence more.
+    class_names:
+        Optional display names attached to the resulting coupling matrix.
+
+    Raises
+    ------
+    ValidationError
+        If no edge has both endpoints labeled and ``smoothing`` is zero — in
+        that case there is no evidence at all to balance.
+    """
+    if smoothing < 0:
+        raise ValidationError("smoothing must be non-negative")
+    counts, observed = label_cooccurrence_counts(graph, labels, num_classes,
+                                                 use_weights=use_weights)
+    if observed == 0 and smoothing == 0.0:
+        raise ValidationError(
+            "no edge connects two labeled nodes; cannot estimate a coupling "
+            "matrix without smoothing")
+    smoothed = counts + smoothing
+    stochastic = make_doubly_stochastic(smoothed)
+    # Numerical symmetrisation: Sinkhorn on a symmetric matrix is symmetric in
+    # exact arithmetic, enforce it against round-off before validation.
+    stochastic = 0.5 * (stochastic + stochastic.T)
+    coupling = CouplingMatrix.from_stochastic(stochastic, class_names=class_names)
+    return CouplingEstimate(coupling=coupling, counts=smoothed,
+                            num_observed_edges=observed)

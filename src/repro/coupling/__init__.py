@@ -1,0 +1,33 @@
+"""Coupling (heterophily) matrices: residual centering, scaling, presets."""
+
+from repro.coupling.matrices import (
+    CouplingMatrix,
+    is_doubly_stochastic,
+    make_doubly_stochastic,
+    residual_from_stochastic,
+    stochastic_from_residual,
+)
+from repro.coupling.presets import (
+    dblp_residual_matrix,
+    fraud_matrix,
+    general_heterophily,
+    general_homophily,
+    heterophily_matrix,
+    homophily_matrix,
+    synthetic_residual_matrix,
+)
+
+__all__ = [
+    "CouplingMatrix",
+    "is_doubly_stochastic",
+    "make_doubly_stochastic",
+    "residual_from_stochastic",
+    "stochastic_from_residual",
+    "dblp_residual_matrix",
+    "fraud_matrix",
+    "general_heterophily",
+    "general_homophily",
+    "heterophily_matrix",
+    "homophily_matrix",
+    "synthetic_residual_matrix",
+]

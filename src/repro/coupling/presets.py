@@ -1,0 +1,117 @@
+"""The concrete coupling matrices used throughout the paper.
+
+* Fig. 1a — binary **homophily** (Democrats / Republicans).
+* Fig. 1b — binary **heterophily** (Talkative / Silent).
+* Fig. 1c — the general 3-class mix used for the fraud example
+  (Honest / Accomplice / Fraudster) and for Example 20.
+* Fig. 6b — the unscaled residual coupling matrix of the synthetic
+  experiments (values scaled by 1/100 so they are small residuals).
+* Fig. 11a — the 4-class homophily residual matrix of the DBLP experiment
+  (values scaled by 1/100).
+
+The Fig. 6b and Fig. 11a matrices are printed in the paper as small integers;
+the experiments always multiply them by a scaling factor ``ε_H``, so the
+absolute normalisation is irrelevant (Section 6.2).  We divide by 100 so the
+default matrices are already "small residuals" in the sense of the derivation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coupling.matrices import CouplingMatrix
+
+__all__ = [
+    "homophily_matrix",
+    "heterophily_matrix",
+    "fraud_matrix",
+    "synthetic_residual_matrix",
+    "dblp_residual_matrix",
+    "general_homophily",
+    "general_heterophily",
+]
+
+
+def homophily_matrix(epsilon: float = 1.0) -> CouplingMatrix:
+    """Fig. 1a: binary homophily between Democrats (D) and Republicans (R)."""
+    stochastic = np.array([
+        [0.8, 0.2],
+        [0.2, 0.8],
+    ])
+    return CouplingMatrix.from_stochastic(stochastic, epsilon=epsilon,
+                                          class_names=("D", "R"))
+
+
+def heterophily_matrix(epsilon: float = 1.0) -> CouplingMatrix:
+    """Fig. 1b: binary heterophily between Talkative (T) and Silent (S)."""
+    stochastic = np.array([
+        [0.3, 0.7],
+        [0.7, 0.3],
+    ])
+    return CouplingMatrix.from_stochastic(stochastic, epsilon=epsilon,
+                                          class_names=("T", "S"))
+
+
+def fraud_matrix(epsilon: float = 1.0) -> CouplingMatrix:
+    """Fig. 1c: the general 3-class case (Honest / Accomplice / Fraudster).
+
+    Honest people show homophily, accomplices and fraudsters form
+    near-bipartite cores (heterophily between A and F).  This is also the
+    coupling matrix used by Example 20 (after centering around 1/3).
+    """
+    stochastic = np.array([
+        [0.6, 0.3, 0.1],
+        [0.3, 0.0, 0.7],
+        [0.1, 0.7, 0.2],
+    ])
+    return CouplingMatrix.from_stochastic(stochastic, epsilon=epsilon,
+                                          class_names=("H", "A", "F"))
+
+
+def synthetic_residual_matrix(epsilon: float = 1.0) -> CouplingMatrix:
+    """Fig. 6b: the unscaled residual coupling matrix of the synthetic suite.
+
+    The paper prints integer affinities ``[[10, -4, -6], [-4, 7, -3],
+    [-6, -3, 9]]``; rows and columns sum to zero, so after dividing by 100
+    this is directly a valid (small) residual matrix ``Ĥo``.
+    """
+    residual = np.array([
+        [10.0, -4.0, -6.0],
+        [-4.0, 7.0, -3.0],
+        [-6.0, -3.0, 9.0],
+    ]) / 100.0
+    return CouplingMatrix.from_residual(residual, epsilon=epsilon,
+                                        class_names=("c1", "c2", "c3"))
+
+
+def dblp_residual_matrix(epsilon: float = 1.0) -> CouplingMatrix:
+    """Fig. 11a: the 4-class homophily residual matrix of the DBLP experiment.
+
+    The paper prints ``6`` on the diagonal and ``−2`` off the diagonal; the
+    four classes are AI, DB, DM and IR.
+    """
+    residual = (np.full((4, 4), -2.0) + np.diag(np.full(4, 8.0))) / 100.0
+    return CouplingMatrix.from_residual(residual, epsilon=epsilon,
+                                        class_names=("AI", "DB", "DM", "IR"))
+
+
+def general_homophily(num_classes: int, strength: float = 0.1,
+                      epsilon: float = 1.0) -> CouplingMatrix:
+    """A k-class homophily residual: ``+strength`` on the diagonal, balanced off it."""
+    if num_classes < 2:
+        raise ValueError("num_classes must be >= 2")
+    off_diagonal = -strength / (num_classes - 1)
+    residual = np.full((num_classes, num_classes), off_diagonal)
+    np.fill_diagonal(residual, strength)
+    return CouplingMatrix.from_residual(residual, epsilon=epsilon)
+
+
+def general_heterophily(num_classes: int, strength: float = 0.1,
+                        epsilon: float = 1.0) -> CouplingMatrix:
+    """A k-class heterophily residual: ``−strength`` on the diagonal."""
+    if num_classes < 2:
+        raise ValueError("num_classes must be >= 2")
+    off_diagonal = strength / (num_classes - 1)
+    residual = np.full((num_classes, num_classes), off_diagonal)
+    np.fill_diagonal(residual, -strength)
+    return CouplingMatrix.from_residual(residual, epsilon=epsilon)

@@ -1,0 +1,26 @@
+"""Dataset generators: the Fig. 6a Kronecker suite and a DBLP-like workload."""
+
+from repro.datasets.dblp import DblpLikeDataset, generate_dblp_like
+from repro.datasets.kronecker_suite import (
+    PAPER_SUITE_SIZES,
+    SyntheticWorkload,
+    kronecker_suite,
+)
+from repro.datasets.synthetic_labels import (
+    belief_value_grid,
+    sample_explicit_beliefs,
+    sample_explicit_nodes,
+    split_for_incremental_update,
+)
+
+__all__ = [
+    "DblpLikeDataset",
+    "generate_dblp_like",
+    "PAPER_SUITE_SIZES",
+    "SyntheticWorkload",
+    "kronecker_suite",
+    "belief_value_grid",
+    "sample_explicit_beliefs",
+    "sample_explicit_nodes",
+    "split_for_incremental_update",
+]

@@ -1,0 +1,119 @@
+"""The synthetic Kronecker-graph suite of Fig. 6a.
+
+The paper evaluates on nine Kronecker graphs whose sizes grow from 243 nodes /
+1 024 edge-entries to 1.6 M nodes / 67 M edge-entries (nodes triple and edge
+entries roughly quadruple per step).  Each graph is seeded with explicit
+beliefs on 5 % of its nodes; the incremental experiments additionally update
+1 ‰ of all nodes.
+
+:func:`kronecker_suite` regenerates the suite (by default only the sizes that
+fit a laptop/CI budget — the scaling *shape* is already visible across three
+orders of magnitude) and attaches the sampled explicit beliefs, so every
+scalability experiment consumes the same workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coupling.matrices import CouplingMatrix
+from repro.coupling.presets import synthetic_residual_matrix
+from repro.datasets.synthetic_labels import sample_explicit_beliefs, sample_explicit_nodes
+from repro.exceptions import DatasetError
+from repro.graphs.generators import kronecker_graph
+from repro.graphs.graph import Graph
+
+__all__ = ["SyntheticWorkload", "kronecker_suite", "PAPER_SUITE_SIZES"]
+
+#: Node counts of the paper's nine graphs (Fig. 6a), i.e. 3 ** (power + 4).
+PAPER_SUITE_SIZES = [243, 729, 2_187, 6_561, 19_683, 59_049,
+                     177_147, 531_441, 1_594_323]
+
+
+@dataclass
+class SyntheticWorkload:
+    """One row of Fig. 6a: a Kronecker graph plus its explicit beliefs.
+
+    Attributes
+    ----------
+    index:
+        1-based index matching the paper's numbering (#1 ... #9).
+    graph:
+        The generated Kronecker graph.
+    explicit:
+        ``n x k`` centered explicit beliefs for 5 % of the nodes.
+    explicit_update:
+        Additional beliefs for 1 ‰ of all nodes (the ΔSBP update workload);
+        disjoint from the nodes labeled in ``explicit``.
+    coupling:
+        The unscaled coupling matrix of Fig. 6b (scale it per experiment).
+    """
+
+    index: int
+    graph: Graph
+    explicit: np.ndarray
+    explicit_update: np.ndarray
+    coupling: CouplingMatrix
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of adjacency entries (the paper's edge count convention)."""
+        return self.graph.num_directed_edges
+
+    @property
+    def num_explicit(self) -> int:
+        """Number of nodes with explicit beliefs."""
+        return int(np.count_nonzero(np.any(self.explicit != 0.0, axis=1)))
+
+    def describe(self) -> Dict[str, int]:
+        """The Fig. 6a row for this workload."""
+        return {
+            "index": self.index,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "explicit_5pct": self.num_explicit,
+            "explicit_1permille": int(np.count_nonzero(
+                np.any(self.explicit_update != 0.0, axis=1))),
+        }
+
+
+def kronecker_suite(max_index: int = 4, explicit_fraction: float = 0.05,
+                    update_fraction: float = 0.001, seed: int = 0,
+                    num_classes: int = 3) -> List[SyntheticWorkload]:
+    """Generate workloads #1 .. #``max_index`` of the synthetic suite.
+
+    ``max_index`` may go up to 9 (the paper's largest graph); the default of 4
+    (6 561 nodes, ~66 k edge entries) keeps test and benchmark times small
+    while already spanning two orders of magnitude in edge count.
+    """
+    if not 1 <= max_index <= len(PAPER_SUITE_SIZES):
+        raise DatasetError(f"max_index must be in [1, {len(PAPER_SUITE_SIZES)}]")
+    if num_classes != 3:
+        raise DatasetError("the Fig. 6 workload is defined for exactly 3 classes")
+    coupling = synthetic_residual_matrix()
+    workloads: List[SyntheticWorkload] = []
+    for index in range(1, max_index + 1):
+        power = index + 4  # 3 ** 5 == 243 is the paper's graph #1
+        graph = kronecker_graph(power, seed=seed + index)
+        nodes = sample_explicit_nodes(graph.num_nodes, explicit_fraction,
+                                      seed=seed + 100 + index)
+        explicit = sample_explicit_beliefs(graph.num_nodes, num_classes, nodes,
+                                           seed=seed + 200 + index)
+        update_nodes = sample_explicit_nodes(graph.num_nodes, update_fraction,
+                                             seed=seed + 300 + index,
+                                             exclude=nodes.tolist())
+        update = sample_explicit_beliefs(graph.num_nodes, num_classes, update_nodes,
+                                         seed=seed + 400 + index)
+        workloads.append(SyntheticWorkload(index=index, graph=graph,
+                                           explicit=explicit,
+                                           explicit_update=update,
+                                           coupling=coupling))
+    return workloads

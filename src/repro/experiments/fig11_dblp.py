@@ -1,0 +1,85 @@
+"""Experiment E11 — Fig. 11: quality on the DBLP-like heterogeneous graph.
+
+The paper labels 10.4 % of a DBLP snapshot with one of four research areas
+(AI, DB, DM, IR), assumes homophily (Fig. 11a), and sweeps the coupling scale
+``ε_H``.  Fig. 11b reports the F1-score of LinBP, LinBP* and SBP against BP's
+labels: LinBP/LinBP* track BP almost perfectly while both converge, and SBP
+stays above ~0.95 but loses a few points to ties.
+
+Because the original snapshot is not redistributable, the experiment runs on
+the synthetic DBLP-like generator of :mod:`repro.datasets.dblp` (see DESIGN.md
+for the substitution rationale).  As a bonus the table also reports accuracy
+against the generator's planted ground-truth labels, which the paper cannot
+do for the real data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bp import belief_propagation
+from repro.core.convergence import max_epsilon_exact
+from repro.core.linbp import linbp, linbp_star
+from repro.core.sbp import sbp
+from repro.datasets.dblp import DblpLikeDataset, generate_dblp_like
+from repro.experiments.runner import ResultTable
+from repro.metrics.quality import labeling_accuracy, precision_recall
+
+__all__ = ["run_dblp_quality", "DEFAULT_DBLP_EPSILONS"]
+
+DEFAULT_DBLP_EPSILONS = tuple(np.logspace(-6, -2.5, 6).tolist())
+
+
+def run_dblp_quality(dataset: Optional[DblpLikeDataset] = None,
+                     epsilons: Sequence[float] = DEFAULT_DBLP_EPSILONS,
+                     max_iterations: int = 100, seed: int = 0,
+                     num_papers: int = 1500) -> ResultTable:
+    """Fig. 11b: F1 of LinBP / LinBP* / SBP against BP on the DBLP-like graph."""
+    if dataset is None:
+        dataset = generate_dblp_like(num_papers=num_papers,
+                                     num_authors=int(num_papers * 0.6),
+                                     num_conferences=20,
+                                     num_terms=int(num_papers * 0.27),
+                                     seed=seed)
+    graph = dataset.graph
+    explicit = dataset.explicit
+    base_coupling = dataset.coupling
+    labeled = set(np.nonzero(np.any(explicit != 0.0, axis=1))[0].tolist())
+    table = ResultTable("Fig. 11b — F1 of LinBP/LinBP*/SBP w.r.t. BP (DBLP-like)")
+    sbp_result = sbp(graph, base_coupling, explicit)
+    sbp_top = sbp_result.top_beliefs()
+    sbp_labels = sbp_result.hard_labels()
+    for epsilon in epsilons:
+        coupling = base_coupling.scaled(float(epsilon))
+        bp_result = belief_propagation(graph, coupling, explicit,
+                                       max_iterations=max_iterations)
+        linbp_result = linbp(graph, coupling, explicit, max_iterations=max_iterations)
+        star_result = linbp_star(graph, coupling, explicit,
+                                 max_iterations=max_iterations)
+        bp_top = bp_result.top_beliefs()
+        # Evaluate on unlabeled nodes for which BP makes any prediction.
+        evaluation_nodes = [node for node, classes in enumerate(bp_top)
+                            if classes and node not in labeled]
+        linbp_scores = precision_recall(bp_top, linbp_result.top_beliefs(),
+                                        restrict_to=evaluation_nodes)
+        star_scores = precision_recall(bp_top, star_result.top_beliefs(),
+                                       restrict_to=evaluation_nodes)
+        sbp_scores = precision_recall(bp_top, sbp_top,
+                                      restrict_to=evaluation_nodes)
+        table.add_row(
+            epsilon=float(epsilon),
+            linbp_f1=linbp_scores.f1,
+            linbp_star_f1=star_scores.f1,
+            sbp_f1=sbp_scores.f1,
+            bp_truth_accuracy=labeling_accuracy(dataset.true_labels,
+                                                bp_result.hard_labels(),
+                                                restrict_to=evaluation_nodes),
+            linbp_truth_accuracy=labeling_accuracy(dataset.true_labels,
+                                                   linbp_result.hard_labels(),
+                                                   restrict_to=evaluation_nodes),
+            sbp_truth_accuracy=labeling_accuracy(dataset.true_labels, sbp_labels,
+                                                 restrict_to=evaluation_nodes),
+        )
+    return table

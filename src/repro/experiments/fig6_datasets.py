@@ -1,0 +1,33 @@
+"""Experiment E2 — Fig. 6a: the synthetic-data table.
+
+The paper's Fig. 6a lists, for each of the nine Kronecker graphs, the number
+of nodes, edges (adjacency entries), edges-per-node ratio, and how many nodes
+receive explicit beliefs at the 5 % and 1 ‰ levels.  :func:`run_dataset_table`
+regenerates that table for the locally generated suite (smaller maximum size
+by default; see DESIGN.md for the substitution note).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datasets.kronecker_suite import SyntheticWorkload, kronecker_suite
+from repro.experiments.runner import ResultTable
+
+__all__ = ["run_dataset_table"]
+
+
+def run_dataset_table(max_index: int = 4, seed: int = 0) -> ResultTable:
+    """Regenerate Fig. 6a for graphs #1 .. #``max_index``."""
+    table = ResultTable("Fig. 6a — synthetic Kronecker workloads")
+    for workload in kronecker_suite(max_index=max_index, seed=seed):
+        description = workload.describe()
+        table.add_row(
+            index=description["index"],
+            nodes=description["nodes"],
+            edges=description["edges"],
+            edges_per_node=round(description["edges"] / description["nodes"], 1),
+            explicit_5pct=description["explicit_5pct"],
+            explicit_1permille=description["explicit_1permille"],
+        )
+    return table

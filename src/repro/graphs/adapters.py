@@ -1,0 +1,99 @@
+"""Optional adapters between :class:`repro.graphs.Graph` and NetworkX.
+
+NetworkX is not a runtime dependency of the library (the algorithms only need
+``scipy.sparse``), but downstream users frequently hold their networks as
+``networkx.Graph`` objects.  These converters bridge the two representations:
+
+* :func:`from_networkx` — import an undirected NetworkX graph (node labels of
+  any hashable type; an explicit node ordering can be supplied);
+* :func:`to_networkx` — export a :class:`~repro.graphs.graph.Graph`, keeping
+  edge weights and the optional node names.
+
+The module imports NetworkX lazily so that ``import repro`` keeps working in
+environments without it; calling either function without NetworkX installed
+raises a clear error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as error:  # pragma: no cover - depends on environment
+        raise ImportError(
+            "networkx is required for the graph adapters; install it with "
+            "'pip install repro[graphs]' or 'pip install networkx'") from error
+    return networkx
+
+
+def from_networkx(nx_graph, node_order: Optional[Sequence[Hashable]] = None,
+                  weight_attribute: str = "weight") -> Tuple[Graph, Dict[Hashable, int]]:
+    """Convert an undirected NetworkX graph.
+
+    Parameters
+    ----------
+    nx_graph:
+        A ``networkx.Graph`` (directed graphs are rejected — the paper's
+        algorithms assume undirected networks).
+    node_order:
+        Optional explicit ordering of the NetworkX node labels; defaults to
+        the graph's iteration order.  The returned mapping translates original
+        labels to the integer ids used by :class:`Graph`.
+    weight_attribute:
+        Edge-attribute name holding the weight (missing attributes mean 1.0).
+
+    Returns
+    -------
+    (graph, node_index):
+        The converted graph and the label -> integer-id mapping.
+    """
+    networkx = _require_networkx()
+    if isinstance(nx_graph, (networkx.DiGraph, networkx.MultiDiGraph)):
+        raise ValidationError("directed NetworkX graphs are not supported; "
+                              "convert to an undirected graph first")
+    labels: List[Hashable] = list(node_order) if node_order is not None \
+        else list(nx_graph.nodes())
+    if node_order is not None:
+        missing = set(nx_graph.nodes()) - set(labels)
+        if missing:
+            raise ValidationError(f"node_order is missing nodes: {sorted(map(str, missing))}")
+        if len(set(labels)) != len(labels):
+            raise ValidationError("node_order contains duplicate labels")
+    node_index: Dict[Hashable, int] = {label: index for index, label in enumerate(labels)}
+    edges = []
+    for source, target, attributes in nx_graph.edges(data=True):
+        if source == target:
+            continue  # the paper's graphs have no self-loops
+        weight = float(attributes.get(weight_attribute, 1.0))
+        edges.append((node_index[source], node_index[target], weight))
+    node_names = [str(label) for label in labels]
+    graph = Graph.from_edges(edges, num_nodes=len(labels), node_names=node_names)
+    return graph, node_index
+
+
+def to_networkx(graph: Graph, weight_attribute: str = "weight"):
+    """Convert a :class:`Graph` into a ``networkx.Graph``.
+
+    Node identifiers are the integer ids; each node gets a ``name`` attribute
+    when the source graph carries node names, and each edge carries its
+    weight under ``weight_attribute``.
+    """
+    networkx = _require_networkx()
+    nx_graph = networkx.Graph()
+    names = graph.node_names
+    for node in range(graph.num_nodes):
+        if names is not None:
+            nx_graph.add_node(node, name=names[node])
+        else:
+            nx_graph.add_node(node)
+    for edge in graph.edges():
+        nx_graph.add_edge(edge.source, edge.target, **{weight_attribute: edge.weight})
+    return nx_graph

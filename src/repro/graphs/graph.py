@@ -1,0 +1,286 @@
+"""Undirected (optionally weighted) graph substrate.
+
+The paper works with an undirected graph of ``n`` nodes represented by its
+symmetric adjacency matrix ``A`` (weighted entries allowed, Section 5.2) and a
+diagonal degree matrix ``D`` whose entries are the sums of squared edge
+weights.  :class:`Graph` wraps a ``scipy.sparse`` CSR adjacency matrix and
+provides exactly the views the algorithms need:
+
+* ``adjacency`` — symmetric CSR matrix ``A``;
+* ``degree_vector`` / ``degree_matrix`` — the echo-cancellation degrees;
+* ``neighbors(node)`` — neighbour ids and weights, for the message-passing
+  BP baseline and for the SBP frontier expansion;
+* ``edges()`` — an iterator over undirected edges, for the relational
+  implementations and for dataset export.
+
+Nodes are integers ``0..n-1``.  Optional string labels can be attached for
+presentation purposes (used by the examples) but the algorithms never rely on
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.graphs import linalg
+
+__all__ = ["Edge", "Graph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single undirected edge ``source — target`` with a positive weight."""
+
+    source: int
+    target: int
+    weight: float = 1.0
+
+    def reversed(self) -> "Edge":
+        """The same edge with the endpoints swapped."""
+        return Edge(self.target, self.source, self.weight)
+
+    def key(self) -> Tuple[int, int]:
+        """Canonical (sorted) endpoint pair used to deduplicate edges."""
+        return (self.source, self.target) if self.source <= self.target \
+            else (self.target, self.source)
+
+
+class Graph:
+    """An undirected, weighted graph backed by a symmetric sparse matrix.
+
+    Parameters
+    ----------
+    adjacency:
+        A square, symmetric matrix (dense or sparse) with non-negative
+        entries.  ``adjacency[s, t]`` is the weight of edge ``s — t`` and zero
+        when the edge is absent.
+    node_names:
+        Optional sequence of display names, one per node.
+    validate:
+        When true (default), check squareness, symmetry and non-negativity.
+    """
+
+    def __init__(self, adjacency, node_names: Optional[Sequence[str]] = None,
+                 validate: bool = True):
+        matrix = linalg.to_csr(adjacency).astype(float)
+        if validate:
+            self._validate(matrix)
+        matrix.setdiag(0.0)
+        matrix.eliminate_zeros()
+        self._adjacency = matrix
+        self._node_names = list(node_names) if node_names is not None else None
+        if self._node_names is not None and len(self._node_names) != matrix.shape[0]:
+            raise ValidationError(
+                f"expected {matrix.shape[0]} node names, got {len(self._node_names)}")
+        self._degree_cache: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _validate(matrix: sp.csr_matrix) -> None:
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError(
+                f"adjacency matrix must be square, got shape {matrix.shape}")
+        if matrix.nnz and float(matrix.data.min()) < 0.0:
+            raise ValidationError("edge weights must be non-negative")
+        if not linalg.is_symmetric(matrix):
+            raise ValidationError("adjacency matrix must be symmetric "
+                                  "(the paper's graphs are undirected)")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int] | Tuple[int, int, float] | Edge],
+                   num_nodes: Optional[int] = None,
+                   node_names: Optional[Sequence[str]] = None) -> "Graph":
+        """Build a graph from an iterable of edges.
+
+        Each edge may be an :class:`Edge`, a ``(source, target)`` pair
+        (weight 1.0), or a ``(source, target, weight)`` triple.  Duplicate
+        edges are summed; self-loops are rejected.
+        """
+        weights: Dict[Tuple[int, int], float] = {}
+        max_node = -1
+        for item in edges:
+            if isinstance(item, Edge):
+                source, target, weight = item.source, item.target, item.weight
+            elif len(item) == 2:
+                source, target = item  # type: ignore[misc]
+                weight = 1.0
+            else:
+                source, target, weight = item  # type: ignore[misc]
+            source, target, weight = int(source), int(target), float(weight)
+            if source == target:
+                raise ValidationError(f"self-loop on node {source} is not allowed")
+            if source < 0 or target < 0:
+                raise ValidationError("node ids must be non-negative integers")
+            if weight <= 0.0:
+                raise ValidationError(
+                    f"edge {source}-{target} has non-positive weight {weight}")
+            key = (source, target) if source < target else (target, source)
+            weights[key] = weights.get(key, 0.0) + weight
+            max_node = max(max_node, source, target)
+        n = num_nodes if num_nodes is not None else max_node + 1
+        if n < max_node + 1:
+            raise ValidationError(
+                f"num_nodes={n} is smaller than the largest referenced node {max_node}")
+        if not weights:
+            return cls(sp.csr_matrix((n, n)), node_names=node_names, validate=False)
+        rows, cols, vals = [], [], []
+        for (source, target), weight in weights.items():
+            rows.extend((source, target))
+            cols.extend((target, source))
+            vals.extend((weight, weight))
+        matrix = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        return cls(matrix, node_names=node_names, validate=False)
+
+    @classmethod
+    def empty(cls, num_nodes: int) -> "Graph":
+        """A graph with ``num_nodes`` nodes and no edges."""
+        if num_nodes < 0:
+            raise ValidationError("num_nodes must be non-negative")
+        return cls(sp.csr_matrix((num_nodes, num_nodes)), validate=False)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        """The symmetric CSR adjacency matrix ``A``."""
+        return self._adjacency
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each counted once)."""
+        return self._adjacency.nnz // 2
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of adjacency-matrix entries (the paper's edge count, Fig. 6a)."""
+        return self._adjacency.nnz
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when any edge weight differs from 1."""
+        if self._adjacency.nnz == 0:
+            return False
+        return not np.allclose(self._adjacency.data, 1.0)
+
+    @property
+    def node_names(self) -> Optional[List[str]]:
+        """Optional display names, one per node."""
+        return list(self._node_names) if self._node_names is not None else None
+
+    def name_of(self, node: int) -> str:
+        """Display name of ``node`` (falls back to ``'v<node>'``)."""
+        if self._node_names is not None:
+            return self._node_names[node]
+        return f"v{node}"
+
+    # ------------------------------------------------------------------ #
+    # degrees and linear algebra views
+    # ------------------------------------------------------------------ #
+    def degree_vector(self, weighted_squares: bool = True) -> np.ndarray:
+        """Degrees per node; squared-weight sums by default (Section 5.2)."""
+        if weighted_squares:
+            if self._degree_cache is None:
+                self._degree_cache = linalg.degree_vector(self._adjacency, True)
+            return self._degree_cache.copy()
+        return linalg.degree_vector(self._adjacency, False)
+
+    def degree_matrix(self, weighted_squares: bool = True) -> sp.csr_matrix:
+        """Diagonal degree matrix ``D`` used by the echo-cancellation term."""
+        return sp.diags(self.degree_vector(weighted_squares), format="csr")
+
+    def spectral_radius(self) -> float:
+        """Spectral radius ``ρ(A)`` of the adjacency matrix."""
+        return linalg.spectral_radius(self._adjacency)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Neighbour ids and edge weights of ``node`` as two aligned arrays."""
+        if node < 0 or node >= self.num_nodes:
+            raise ValidationError(f"node {node} out of range [0, {self.num_nodes})")
+        start, end = self._adjacency.indptr[node], self._adjacency.indptr[node + 1]
+        return (self._adjacency.indices[start:end].copy(),
+                self._adjacency.data[start:end].copy())
+
+    def degree(self, node: int) -> int:
+        """Number of neighbours of ``node``."""
+        return int(self._adjacency.indptr[node + 1] - self._adjacency.indptr[node])
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over undirected edges once each (source < target)."""
+        coo = self._adjacency.tocoo()
+        for source, target, weight in zip(coo.row, coo.col, coo.data):
+            if source < target:
+                yield Edge(int(source), int(target), float(weight))
+
+    def directed_edges(self) -> Iterator[Edge]:
+        """Iterate over both directions of every edge (as stored in ``A``)."""
+        coo = self._adjacency.tocoo()
+        for source, target, weight in zip(coo.row, coo.col, coo.data):
+            yield Edge(int(source), int(target), float(weight))
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """True when the undirected edge ``source — target`` exists."""
+        return self._adjacency[source, target] != 0.0
+
+    def edge_weight(self, source: int, target: int) -> float:
+        """Weight of edge ``source — target`` (0.0 when absent)."""
+        return float(self._adjacency[source, target])
+
+    # ------------------------------------------------------------------ #
+    # modification (returns new Graph instances; Graph is immutable-ish)
+    # ------------------------------------------------------------------ #
+    def with_edges_added(self, new_edges: Iterable[Tuple[int, int] | Tuple[int, int, float] | Edge]) -> "Graph":
+        """A new graph with ``new_edges`` added (weights summed on duplicates)."""
+        combined: List[Edge] = list(self.edges())
+        for item in new_edges:
+            if isinstance(item, Edge):
+                combined.append(item)
+            elif len(item) == 2:
+                combined.append(Edge(int(item[0]), int(item[1]), 1.0))
+            else:
+                combined.append(Edge(int(item[0]), int(item[1]), float(item[2])))
+        return Graph.from_edges(combined, num_nodes=self.num_nodes,
+                                node_names=self._node_names)
+
+    def subgraph_weights_scaled(self, factor: float) -> "Graph":
+        """A new graph with every edge weight multiplied by ``factor`` > 0."""
+        if factor <= 0:
+            raise ValidationError("scaling factor must be positive")
+        return Graph(self._adjacency * factor, node_names=self._node_names,
+                     validate=False)
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return (f"Graph(n={self.num_nodes}, undirected_edges={self.num_edges}, "
+                f"{kind})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self.num_nodes != other.num_nodes:
+            return False
+        difference = (self._adjacency - other._adjacency).tocoo()
+        if difference.nnz == 0:
+            return True
+        return bool(np.max(np.abs(difference.data)) < 1e-12)

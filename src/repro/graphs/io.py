@@ -1,0 +1,122 @@
+"""Plain-text I/O for graphs and belief matrices.
+
+The paper's SQL implementation stores the network in three relations:
+``A(s, t, w)`` for the (weighted) adjacency matrix, ``E(v, c, b)`` for the
+explicit beliefs, and ``H(c1, c2, h)`` for the coupling matrix.  This module
+reads and writes the adjacency and belief relations as whitespace- or
+comma-separated text files so that datasets can be exchanged with other tools
+(and so the examples can persist generated workloads).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_belief_table",
+    "read_belief_table",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike, delimiter: str = "\t",
+                    include_weights: Optional[bool] = None) -> None:
+    """Write a graph as one ``source <delim> target [<delim> weight]`` line per edge.
+
+    Each undirected edge is written once with ``source < target``.  Weights
+    are included when the graph is weighted, or always when
+    ``include_weights=True``.
+    """
+    destination = Path(path)
+    with_weights = graph.is_weighted if include_weights is None else include_weights
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        for edge in graph.edges():
+            if with_weights:
+                writer.writerow([edge.source, edge.target, repr(edge.weight)])
+            else:
+                writer.writerow([edge.source, edge.target])
+
+
+def read_edge_list(path: PathLike, delimiter: Optional[str] = None,
+                   num_nodes: Optional[int] = None) -> Graph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Lines starting with ``#`` are ignored.  When ``delimiter`` is None the
+    line is split on arbitrary whitespace, otherwise with the given character.
+    A third column, when present, is interpreted as the edge weight.
+    """
+    source_path = Path(path)
+    edges: List[Tuple[int, int, float]] = []
+    with source_path.open() as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(delimiter) if delimiter else line.split()
+            if len(parts) not in (2, 3):
+                raise ValidationError(
+                    f"{source_path}:{line_number}: expected 2 or 3 columns, "
+                    f"got {len(parts)}")
+            source, target = int(parts[0]), int(parts[1])
+            weight = float(parts[2]) if len(parts) == 3 else 1.0
+            edges.append((source, target, weight))
+    return Graph.from_edges(edges, num_nodes=num_nodes)
+
+
+def write_belief_table(beliefs: np.ndarray, path: PathLike,
+                       delimiter: str = "\t",
+                       skip_zero_rows: bool = True) -> None:
+    """Write a belief matrix in the relational layout ``node, class, belief``.
+
+    Rows that are entirely zero (nodes without explicit beliefs) are skipped
+    by default, matching the sparse ``E(v, c, b)`` relation used by the SQL
+    implementation.
+    """
+    matrix = np.asarray(beliefs, dtype=float)
+    if matrix.ndim != 2:
+        raise ValidationError("belief matrix must be two-dimensional")
+    destination = Path(path)
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        for node in range(matrix.shape[0]):
+            row = matrix[node]
+            if skip_zero_rows and not np.any(row):
+                continue
+            for class_index in range(matrix.shape[1]):
+                writer.writerow([node, class_index, repr(float(row[class_index]))])
+
+
+def read_belief_table(path: PathLike, num_nodes: int, num_classes: int,
+                      delimiter: Optional[str] = None) -> np.ndarray:
+    """Read a ``node, class, belief`` table back into an ``n x k`` matrix."""
+    source_path = Path(path)
+    matrix = np.zeros((num_nodes, num_classes))
+    with source_path.open() as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(delimiter) if delimiter else line.split()
+            if len(parts) != 3:
+                raise ValidationError(
+                    f"{source_path}:{line_number}: expected 3 columns, got {len(parts)}")
+            node, class_index, belief = int(parts[0]), int(parts[1]), float(parts[2])
+            if not (0 <= node < num_nodes):
+                raise ValidationError(
+                    f"{source_path}:{line_number}: node {node} out of range")
+            if not (0 <= class_index < num_classes):
+                raise ValidationError(
+                    f"{source_path}:{line_number}: class {class_index} out of range")
+            matrix[node, class_index] = belief
+    return matrix

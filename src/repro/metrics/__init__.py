@@ -1,0 +1,5 @@
+"""Quality metrics (precision/recall over top-belief sets, F1, accuracy)."""
+
+from repro.metrics.quality import QualityScores, labeling_accuracy, precision_recall
+
+__all__ = ["QualityScores", "labeling_accuracy", "precision_recall"]

@@ -1,0 +1,48 @@
+"""In-memory relational engine and the paper's SQL-style LinBP/SBP programs."""
+
+from repro.relational.engine import (
+    aggregate,
+    anti_join,
+    equi_join,
+    project,
+    select,
+    union_all,
+)
+from repro.relational.linbp_sql import RelationalLinBP, linbp_sql
+from repro.relational.sbp_incremental import add_edges_sql, add_explicit_beliefs_sql
+from repro.relational.sbp_sql import RelationalSBP, sbp_sql
+from repro.relational.schema import (
+    adjacency_table,
+    beliefs_to_matrix,
+    coupling_squared_table,
+    coupling_table,
+    degree_table,
+    explicit_belief_table,
+    geodesic_to_vector,
+    top_belief_query,
+)
+from repro.relational.table import Table
+
+__all__ = [
+    "aggregate",
+    "anti_join",
+    "equi_join",
+    "project",
+    "select",
+    "union_all",
+    "RelationalLinBP",
+    "linbp_sql",
+    "add_edges_sql",
+    "add_explicit_beliefs_sql",
+    "RelationalSBP",
+    "sbp_sql",
+    "adjacency_table",
+    "beliefs_to_matrix",
+    "coupling_squared_table",
+    "coupling_table",
+    "degree_table",
+    "explicit_belief_table",
+    "geodesic_to_vector",
+    "top_belief_query",
+    "Table",
+]

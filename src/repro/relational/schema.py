@@ -1,0 +1,137 @@
+"""Relational schema of the paper's SQL implementations.
+
+Section 5.3 stores the problem in three base relations plus two derived ones:
+
+* ``A(s, t, w)``  — the weighted adjacency matrix (both directions of every
+  undirected edge, exactly like the matrix ``A``);
+* ``E(v, c, b)``  — the explicit (residual) beliefs of labeled nodes;
+* ``H(c1, c2, h)`` — the residual coupling matrix ``Ĥ``;
+* ``D(v, d)``     — per-node degrees, ``d = Σ w²`` (derived from ``A``);
+* ``H2(c1, c2, h)`` — ``Ĥ²`` (derived from ``H``, Eq. 20 / Fig. 9a).
+
+This module converts between the NumPy/:class:`~repro.graphs.graph.Graph`
+world and these relations, and provides the final ``top belief`` query of
+Fig. 9b.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.coupling.matrices import CouplingMatrix
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+from repro.relational.engine import aggregate, equi_join
+from repro.relational.table import Table
+
+__all__ = [
+    "adjacency_table",
+    "explicit_belief_table",
+    "coupling_table",
+    "degree_table",
+    "coupling_squared_table",
+    "beliefs_to_matrix",
+    "geodesic_to_vector",
+    "top_belief_query",
+]
+
+
+def adjacency_table(graph: Graph) -> Table:
+    """``A(s, t, w)`` with one row per *directed* edge (both directions)."""
+    table = Table("A", ("s", "t", "w"))
+    table.insert_rows((edge.source, edge.target, edge.weight)
+                      for edge in graph.directed_edges())
+    return table
+
+
+def explicit_belief_table(explicit_residuals: np.ndarray, name: str = "E") -> Table:
+    """``E(v, c, b)`` holding only the non-zero rows (labeled nodes)."""
+    matrix = np.asarray(explicit_residuals, dtype=float)
+    if matrix.ndim != 2:
+        raise ValidationError("explicit beliefs must be a 2-D matrix")
+    table = Table(name, ("v", "c", "b"))
+    labeled = np.nonzero(np.any(matrix != 0.0, axis=1))[0]
+    rows = []
+    for node in labeled:
+        for class_index in range(matrix.shape[1]):
+            rows.append((int(node), int(class_index), float(matrix[node, class_index])))
+    table.insert_rows(rows)
+    return table
+
+
+def coupling_table(coupling: CouplingMatrix) -> Table:
+    """``H(c1, c2, h)`` holding the scaled residual coupling matrix ``Ĥ``."""
+    residual = coupling.residual
+    table = Table("H", ("c1", "c2", "h"))
+    k = residual.shape[0]
+    table.insert_rows((i, j, float(residual[i, j]))
+                      for i in range(k) for j in range(k))
+    return table
+
+
+def degree_table(adjacency: Table) -> Table:
+    """``D(v, d)`` with ``d = Σ w²`` per source node (Section 5.2 degrees).
+
+    Expressed as the aggregate query ``D(s, sum(w*w)) :- A(s, t, w)``.
+    """
+    return aggregate(adjacency, group_by=("s",),
+                     aggregations={"d": ("sum", lambda r: r["w"] * r["w"])},
+                     name="D")
+
+
+def coupling_squared_table(coupling_relation: Table) -> Table:
+    """``H2(c1, c2, h)`` computed with the self-join of Eq. 20 / Fig. 9a."""
+    from repro.relational.engine import project
+
+    joined = equi_join(coupling_relation, coupling_relation.copy("H_b"),
+                       on=[("c2", "c1")], name="H_join")
+    # After the join, the left copy contributes (c1, c2, h) and the right copy
+    # (H_b.c1 == left c2 by the join) contributes its own c2 and h under
+    # qualified names.
+    squared = aggregate(joined, group_by=("c1", "H_b.c2"),
+                        aggregations={"h": ("sum", lambda r: r["h"] * r["H_b.h"])},
+                        name="H2")
+    return project(squared, ("c1", "H_b.c2", "h"),
+                   rename={"H_b.c2": "c2"}, name="H2").copy("H2")
+
+
+def beliefs_to_matrix(belief_relation: Table, num_nodes: int,
+                      num_classes: int) -> np.ndarray:
+    """Convert a ``B(v, c, b)`` relation back into an ``n x k`` matrix."""
+    matrix = np.zeros((num_nodes, num_classes))
+    v_index = belief_relation.column_index("v")
+    c_index = belief_relation.column_index("c")
+    b_index = belief_relation.column_index("b")
+    for row in belief_relation:
+        matrix[row[v_index], row[c_index]] = row[b_index]
+    return matrix
+
+
+def geodesic_to_vector(geodesic_relation: Table, num_nodes: int) -> np.ndarray:
+    """Convert a ``G(v, g)`` relation into a vector (−1 for missing nodes)."""
+    vector = np.full(num_nodes, -1, dtype=np.int64)
+    v_index = geodesic_relation.column_index("v")
+    g_index = geodesic_relation.column_index("g")
+    for row in geodesic_relation:
+        vector[row[v_index]] = row[g_index]
+    return vector
+
+
+def top_belief_query(belief_relation: Table) -> Dict[int, Set[int]]:
+    """The top-belief query of Fig. 9b: classes attaining each node's maximum.
+
+    Ties are kept, exactly as in the SQL formulation (the inner query computes
+    ``max(b)`` per node and the outer query returns every class matching it).
+    """
+    maxima = aggregate(belief_relation, group_by=("v",),
+                       aggregations={"b": ("max", lambda r: r["b"])}, name="X")
+    joined = equi_join(belief_relation, maxima, on=[("v", "v"), ("b", "b")],
+                       name="top")
+    v_index = joined.column_index("v")
+    c_index = joined.column_index("c")
+    result: Dict[int, Set[int]] = {}
+    for row in joined:
+        result.setdefault(int(row[v_index]), set()).add(int(row[c_index]))
+    return result

@@ -1,0 +1,163 @@
+"""A small in-memory relational table.
+
+The paper implements LinBP and SBP in standard SQL (Section 5.3, Section 6.3)
+to make the point that both algorithms need nothing beyond joins, group-by
+aggregates and iteration.  To reproduce those implementations without an
+external DBMS, :mod:`repro.relational` provides a deliberately small
+relational engine; this module contains its storage layer.
+
+A :class:`Table` is a named, ordered collection of columns holding Python
+values (ints, floats, strings).  Tables are immutable from the outside —
+every operator in :mod:`repro.relational.engine` returns a new table — except
+for the explicit :meth:`Table.insert_rows` and :meth:`Table.upsert` mutators
+that Algorithms 2–4 need for their working relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError, ValidationError
+
+__all__ = ["Table"]
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """A named relation with a fixed column schema and a list of rows.
+
+    Parameters
+    ----------
+    name:
+        Relation name, used in error messages and ``repr``.
+    columns:
+        Ordered column names (must be unique).
+    rows:
+        Optional initial rows; each row must have one value per column.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Optional[Iterable[Sequence[Any]]] = None):
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise SchemaError(f"duplicate column names in {list(columns)!r}")
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._index_of: Dict[str, int] = {c: i for i, c in enumerate(self.columns)}
+        self._rows: List[Row] = []
+        if rows is not None:
+            self.insert_rows(rows)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of rows currently stored."""
+        return len(self._rows)
+
+    @property
+    def rows(self) -> List[Row]:
+        """The rows as a list of tuples (a shallow copy)."""
+        return list(self._rows)
+
+    def column_index(self, column: str) -> int:
+        """Position of ``column`` in the schema (raises on unknown columns)."""
+        try:
+            return self._index_of[column]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column!r}; "
+                f"available: {list(self.columns)}") from None
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of one column, in row order."""
+        index = self.column_index(column)
+        return [row[index] for row in self._rows]
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"Table({self.name!r}, columns={list(self.columns)}, rows={len(self)})"
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by column name (for tests/debugging)."""
+        return [dict(zip(self.columns, row)) for row in self._rows]
+
+    # ------------------------------------------------------------------ #
+    # mutation (used by the working relations of Algorithms 2-4)
+    # ------------------------------------------------------------------ #
+    def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append rows; returns how many rows were inserted."""
+        count = 0
+        width = len(self.columns)
+        for row in rows:
+            values = tuple(row)
+            if len(values) != width:
+                raise ValidationError(
+                    f"row {values!r} has {len(values)} values, "
+                    f"table {self.name!r} expects {width}")
+            self._rows.append(values)
+            count += 1
+        return count
+
+    def insert_dicts(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Append rows given as dictionaries keyed by column name."""
+        return self.insert_rows(
+            tuple(record[column] for column in self.columns) for record in records)
+
+    def upsert(self, rows: Iterable[Sequence[Any]], key_columns: Sequence[str]) -> int:
+        """Insert rows, replacing existing rows that match on ``key_columns``.
+
+        This is the ``!Q(...)`` operation of the paper's Datalog notation
+        (Fig. 9d): a record is either inserted or an existing one updated.
+        Returns the number of rows written (inserted plus replaced).
+        """
+        key_indices = [self.column_index(column) for column in key_columns]
+        position_of_key: Dict[Tuple[Any, ...], int] = {}
+        for position, existing in enumerate(self._rows):
+            position_of_key[tuple(existing[i] for i in key_indices)] = position
+        written = 0
+        width = len(self.columns)
+        for row in rows:
+            values = tuple(row)
+            if len(values) != width:
+                raise ValidationError(
+                    f"row {values!r} has {len(values)} values, "
+                    f"table {self.name!r} expects {width}")
+            key = tuple(values[i] for i in key_indices)
+            if key in position_of_key:
+                self._rows[position_of_key[key]] = values
+            else:
+                position_of_key[key] = len(self._rows)
+                self._rows.append(values)
+            written += 1
+        return written
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows for which ``predicate(row_dict)`` is true; returns the count."""
+        kept: List[Row] = []
+        deleted = 0
+        for row in self._rows:
+            if predicate(dict(zip(self.columns, row))):
+                deleted += 1
+            else:
+                kept.append(row)
+        self._rows = kept
+        return deleted
+
+    def clear(self) -> None:
+        """Remove all rows (schema is kept)."""
+        self._rows = []
+
+    def copy(self, name: Optional[str] = None) -> "Table":
+        """A deep-enough copy (rows are immutable tuples)."""
+        duplicate = Table(name or self.name, self.columns)
+        duplicate._rows = list(self._rows)
+        return duplicate

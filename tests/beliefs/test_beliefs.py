@@ -1,0 +1,159 @@
+"""Unit tests for belief matrices, standardization and top-belief assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import (
+    BeliefMatrix,
+    center_probability_matrix,
+    explicit_beliefs_from_labels,
+    explicit_residuals_from_labels,
+    standardize,
+    top_belief_sets,
+    uncenter_residual_matrix,
+)
+from repro.exceptions import ValidationError
+
+
+class TestStandardize:
+    """The three worked examples below Definition 11."""
+
+    def test_two_elements(self):
+        assert np.allclose(standardize(np.array([1.0, 0.0])), [1.0, -1.0])
+
+    def test_constant_vector_maps_to_zero(self):
+        assert np.allclose(standardize(np.array([1.0, 1.0, 1.0])), [0.0, 0.0, 0.0])
+
+    def test_five_elements(self):
+        result = standardize(np.array([1.0, 0.0, 0.0, 0.0, 0.0]))
+        assert np.allclose(result, [2.0, -0.5, -0.5, -0.5, -0.5])
+
+    def test_scale_invariance(self):
+        vector = np.array([4.0, -1.0, -1.0, -1.0, -1.0])
+        assert np.allclose(standardize(vector), standardize(10.0 * vector))
+
+    def test_paper_example_same_standardization(self):
+        # b_s = [4,-1,-1,-1,-1] and b_t = [40,-10,-10,-10,-10] standardize equally.
+        b_s = np.array([4.0, -1.0, -1.0, -1.0, -1.0])
+        b_t = 10.0 * b_s
+        assert np.allclose(standardize(b_s), standardize(b_t))
+        assert np.allclose(standardize(b_s), [2.0, -0.5, -0.5, -0.5, -0.5])
+
+
+class TestCentering:
+    def test_center_and_uncenter_roundtrip(self):
+        probabilities = np.array([[0.5, 0.3, 0.2], [1 / 3, 1 / 3, 1 / 3]])
+        centered = center_probability_matrix(probabilities)
+        assert np.allclose(centered.sum(axis=1), 0.0)
+        assert np.allclose(uncenter_residual_matrix(centered), probabilities)
+
+    def test_center_requires_2d(self):
+        with pytest.raises(ValidationError):
+            center_probability_matrix(np.zeros(3))
+        with pytest.raises(ValidationError):
+            uncenter_residual_matrix(np.zeros(3))
+
+
+class TestExplicitBeliefConstruction:
+    def test_probabilities_from_labels(self):
+        beliefs = explicit_beliefs_from_labels({0: 1}, num_nodes=3, num_classes=2,
+                                               confidence=0.9)
+        assert np.allclose(beliefs[0], [0.1, 0.9])
+        assert np.allclose(beliefs[1], [0.5, 0.5])
+        assert np.allclose(beliefs.sum(axis=1), 1.0)
+
+    def test_residuals_from_labels_rows_sum_to_zero(self):
+        residuals = explicit_residuals_from_labels({1: 2}, num_nodes=3, num_classes=3,
+                                                   magnitude=0.3)
+        assert np.allclose(residuals[1], [-0.15, -0.15, 0.3])
+        assert np.allclose(residuals[0], 0.0)
+        assert np.allclose(residuals.sum(axis=1), 0.0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValidationError):
+            explicit_beliefs_from_labels({0: 0}, 2, 2, confidence=0.0)
+        with pytest.raises(ValidationError):
+            explicit_beliefs_from_labels({0: 0}, 2, 2, confidence=1.5)
+
+    def test_invalid_magnitude(self):
+        with pytest.raises(ValidationError):
+            explicit_residuals_from_labels({0: 0}, 2, 2, magnitude=-0.1)
+
+    def test_out_of_range_node_and_label(self):
+        with pytest.raises(ValidationError):
+            explicit_residuals_from_labels({5: 0}, 2, 2)
+        with pytest.raises(ValidationError):
+            explicit_residuals_from_labels({0: 7}, 2, 2)
+        with pytest.raises(ValidationError):
+            explicit_beliefs_from_labels({5: 0}, 2, 2)
+
+
+class TestTopBeliefSets:
+    def test_unique_maxima(self):
+        beliefs = np.array([[0.2, -0.1, -0.1], [-0.3, 0.4, -0.1]])
+        assert top_belief_sets(beliefs) == [{0}, {1}]
+
+    def test_ties_are_kept(self):
+        beliefs = np.array([[0.2, 0.2, -0.4]])
+        assert top_belief_sets(beliefs) == [{0, 1}]
+
+    def test_near_ties_within_tolerance(self):
+        beliefs = np.array([[0.2, 0.2 - 1e-14, -0.4]])
+        assert top_belief_sets(beliefs, tie_tolerance=1e-10) == [{0, 1}]
+
+    def test_zero_rows_skipped_or_full(self):
+        beliefs = np.zeros((1, 3))
+        assert top_belief_sets(beliefs) == [set()]
+        assert top_belief_sets(beliefs, skip_all_zero=False) == [{0, 1, 2}]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValidationError):
+            top_belief_sets(np.zeros(3))
+
+
+class TestBeliefMatrix:
+    def test_from_labels(self):
+        matrix = BeliefMatrix.from_labels({0: 0, 2: 1}, num_nodes=3, num_classes=2)
+        assert matrix.num_nodes == 3 and matrix.num_classes == 2
+        assert set(matrix.labeled_nodes().tolist()) == {0, 2}
+
+    def test_from_probabilities(self):
+        matrix = BeliefMatrix.from_probabilities(np.array([[0.7, 0.3], [0.5, 0.5]]))
+        assert np.allclose(matrix.residuals, [[0.2, -0.2], [0.0, 0.0]])
+
+    def test_probabilities_view(self):
+        matrix = BeliefMatrix(np.array([[0.2, -0.2]]))
+        assert np.allclose(matrix.probabilities, [[0.7, 0.3]])
+
+    def test_standardized_rows(self):
+        matrix = BeliefMatrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        standardized = matrix.standardized()
+        assert np.allclose(standardized[0], [1.0, -1.0])
+        assert np.allclose(standardized[1], [0.0, 0.0])
+
+    def test_standard_deviations(self):
+        matrix = BeliefMatrix(np.array([[1.0, -1.0], [2.0, -2.0]]))
+        assert np.allclose(matrix.standard_deviations(), [1.0, 2.0])
+
+    def test_hard_labels_with_unlabeled(self):
+        matrix = BeliefMatrix(np.array([[0.1, -0.1], [0.0, 0.0], [-0.3, 0.3]]))
+        assert matrix.hard_labels().tolist() == [0, -1, 1]
+
+    def test_scaling_lemma_12(self):
+        # Scaling residuals does not change the standardized assignment.
+        matrix = BeliefMatrix(np.array([[0.4, -0.1, -0.3]]))
+        scaled = matrix.scaled(7.0)
+        assert np.allclose(matrix.standardized(), scaled.standardized())
+        assert np.allclose(scaled.residuals, 7.0 * matrix.residuals)
+
+    def test_copy_is_independent(self):
+        matrix = BeliefMatrix(np.array([[0.1, -0.1]]))
+        duplicate = matrix.copy()
+        duplicate.residuals[0, 0] = 99.0
+        assert matrix.residuals[0, 0] == pytest.approx(0.1)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValidationError):
+            BeliefMatrix(np.zeros(4))

@@ -1,0 +1,72 @@
+"""Shared fixtures: small graphs, couplings and belief matrices used across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import BeliefMatrix
+from repro.coupling import fraud_matrix, homophily_matrix, synthetic_residual_matrix
+from repro.graphs import (
+    Graph,
+    chain_graph,
+    random_graph,
+    ring_graph,
+    sbp_example_graph,
+    torus_graph,
+)
+
+
+@pytest.fixture
+def torus():
+    """The 8-node Example 20 torus graph."""
+    return torus_graph()
+
+
+@pytest.fixture
+def torus_explicit():
+    """Example 20 explicit beliefs on v1, v2, v3 (scaled by 0.1)."""
+    explicit = np.zeros((8, 3))
+    explicit[0] = [2.0, -1.0, -1.0]
+    explicit[1] = [-1.0, 2.0, -1.0]
+    explicit[2] = [-1.0, -1.0, 2.0]
+    return explicit * 0.1
+
+
+@pytest.fixture
+def fraud_coupling():
+    """The Fig. 1c coupling matrix at a convergent scale."""
+    return fraud_matrix(epsilon=0.1)
+
+
+@pytest.fixture
+def sbp_example():
+    """The 7-node Fig. 5a/b example graph."""
+    return sbp_example_graph()
+
+
+@pytest.fixture
+def small_random_graph():
+    """A small connected-ish random graph used by equivalence tests."""
+    return random_graph(40, 0.12, seed=7)
+
+
+@pytest.fixture
+def small_random_workload(small_random_graph):
+    """Graph, coupling and explicit beliefs for cross-implementation tests."""
+    coupling = synthetic_residual_matrix(epsilon=0.5)
+    rng = np.random.default_rng(11)
+    explicit = np.zeros((small_random_graph.num_nodes, 3))
+    for node in rng.choice(small_random_graph.num_nodes, size=6, replace=False):
+        values = rng.uniform(-0.1, 0.1, size=2)
+        explicit[node] = [values[0], values[1], -values.sum()]
+    return small_random_graph, coupling, explicit
+
+
+@pytest.fixture
+def binary_chain_workload():
+    """A 6-node chain with binary labels at both ends."""
+    graph = chain_graph(6)
+    beliefs = BeliefMatrix.from_labels({0: 0, 5: 1}, num_nodes=6, num_classes=2,
+                                       magnitude=0.1)
+    return graph, homophily_matrix(epsilon=0.2), beliefs.residuals

@@ -1,0 +1,115 @@
+"""Unit tests for the standard loopy BP baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import BeliefMatrix
+from repro.coupling import CouplingMatrix, fraud_matrix, heterophily_matrix, homophily_matrix
+from repro.core import BeliefPropagation, belief_propagation, linbp
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, binary_tree_graph, chain_graph, star_graph
+
+
+class TestBPOnTrees:
+    """On tree graphs loopy BP is exact and must converge."""
+
+    def test_converges_on_chain(self, binary_chain_workload):
+        graph, coupling, explicit = binary_chain_workload
+        result = belief_propagation(graph, coupling, explicit)
+        assert result.converged
+        assert result.method == "BP"
+
+    def test_homophily_splits_chain(self, binary_chain_workload):
+        graph, coupling, explicit = binary_chain_workload
+        labels = belief_propagation(graph, coupling, explicit).hard_labels()
+        assert labels.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_heterophily_alternates_on_chain(self):
+        graph = chain_graph(5)
+        coupling = heterophily_matrix(epsilon=0.4)
+        explicit = BeliefMatrix.from_labels({0: 0}, 5, 2, magnitude=0.2).residuals
+        labels = belief_propagation(graph, coupling, explicit).hard_labels()
+        assert labels.tolist() == [0, 1, 0, 1, 0]
+
+    def test_tree_propagation_from_root(self):
+        graph = binary_tree_graph(3)
+        coupling = homophily_matrix(epsilon=0.3)
+        explicit = BeliefMatrix.from_labels({0: 1}, graph.num_nodes, 2,
+                                            magnitude=0.2).residuals
+        result = belief_propagation(graph, coupling, explicit)
+        assert result.converged
+        assert np.all(result.hard_labels() == 1)
+
+    def test_unlabeled_components_stay_uninformative(self):
+        graph = Graph.from_edges([(0, 1)], num_nodes=4)
+        coupling = homophily_matrix(epsilon=0.2)
+        explicit = BeliefMatrix.from_labels({0: 0}, 4, 2).residuals
+        result = belief_propagation(graph, coupling, explicit)
+        # Nodes 2 and 3 have no information: residual beliefs stay ~0.
+        assert np.allclose(result.beliefs[2:], 0.0, atol=1e-12)
+
+
+class TestBPAgainstLinBP:
+    def test_close_to_linbp_for_small_residuals(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        scaled = coupling.scaled(0.02)
+        small_explicit = 0.1 * explicit
+        bp_result = belief_propagation(graph, scaled, small_explicit,
+                                       max_iterations=300)
+        linbp_result = linbp(graph, scaled, small_explicit, max_iterations=300)
+        bp_std = bp_result.standardized_beliefs()
+        lin_std = linbp_result.standardized_beliefs()
+        # Standardized beliefs agree closely in the linearization regime.
+        assert np.max(np.abs(bp_std - lin_std)) < 0.15
+        # And the top-class assignment agrees on the vast majority of nodes.
+        agree = np.mean(bp_result.hard_labels() == linbp_result.hard_labels())
+        assert agree > 0.9
+
+
+class TestBPMechanics:
+    def test_damping_allows_convergence_reporting(self, torus, fraud_coupling,
+                                                  torus_explicit):
+        result = belief_propagation(torus, fraud_coupling, 0.5 * torus_explicit,
+                                    damping=0.3, max_iterations=300)
+        assert result.extra["damping"] == 0.3
+        assert result.converged
+
+    def test_beliefs_are_centered(self, torus, fraud_coupling, torus_explicit):
+        result = belief_propagation(torus, fraud_coupling, 0.5 * torus_explicit)
+        assert np.allclose(result.beliefs.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_iteration_budget_respected(self, torus, fraud_coupling, torus_explicit):
+        result = belief_propagation(torus, fraud_coupling, 0.5 * torus_explicit,
+                                    max_iterations=2, tolerance=1e-30)
+        assert result.iterations == 2
+        assert not result.converged
+
+
+class TestBPValidation:
+    def test_negative_potential_rejected(self, torus):
+        # A large epsilon makes H = Ĥ + 1/k negative somewhere: BP cannot run.
+        coupling = fraud_matrix(epsilon=2.0)
+        with pytest.raises(ValidationError):
+            BeliefPropagation(torus, coupling)
+
+    def test_explicit_beliefs_outside_simplex_rejected(self, torus, fraud_coupling):
+        explicit = np.zeros((8, 3))
+        explicit[0] = [5.0, -2.5, -2.5]  # implies a negative probability
+        with pytest.raises(ValidationError):
+            belief_propagation(torus, fraud_coupling, explicit)
+
+    def test_shape_checks(self, torus, fraud_coupling):
+        with pytest.raises(ValidationError):
+            belief_propagation(torus, fraud_coupling, np.zeros((8, 2)))
+        with pytest.raises(ValidationError):
+            belief_propagation(torus, fraud_coupling, np.zeros((7, 3)))
+
+    def test_parameter_checks(self, torus, fraud_coupling):
+        with pytest.raises(ValidationError):
+            BeliefPropagation(torus, fraud_coupling, max_iterations=0)
+        with pytest.raises(ValidationError):
+            BeliefPropagation(torus, fraud_coupling, tolerance=-1.0)
+        with pytest.raises(ValidationError):
+            BeliefPropagation(torus, fraud_coupling, damping=1.0)

@@ -1,0 +1,144 @@
+"""Unit tests for the convergence criteria (Lemmas 8, 9, 23; Appendix G)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import CouplingMatrix, fraud_matrix, homophily_matrix
+from repro.core import convergence, linbp, linbp_star
+from repro.graphs import Graph, chain_graph, ring_graph, torus_graph
+
+
+class TestExactCriteria:
+    def test_example_20_thresholds(self, torus):
+        """ε_H ≈ 0.488 for LinBP and ≈ 0.658 for LinBP* (Example 20)."""
+        coupling = fraud_matrix()
+        assert convergence.max_epsilon_exact(torus, coupling) == pytest.approx(
+            0.488, abs=2e-3)
+        assert convergence.max_epsilon_exact(torus, coupling,
+                                             echo_cancellation=False) == pytest.approx(
+            0.658, abs=2e-3)
+
+    def test_exact_criterion_boolean_forms(self, torus):
+        assert convergence.exact_convergence_linbp(torus, fraud_matrix(epsilon=0.4))
+        assert not convergence.exact_convergence_linbp(torus, fraud_matrix(epsilon=0.55))
+        assert convergence.exact_convergence_linbp_star(torus, fraud_matrix(epsilon=0.6))
+        assert not convergence.exact_convergence_linbp_star(torus,
+                                                            fraud_matrix(epsilon=0.7))
+
+    def test_exact_criterion_predicts_iteration_behaviour(self, torus, torus_explicit):
+        """Lemma 8 is necessary AND sufficient: check both sides empirically.
+
+        Just above the threshold the divergent mode grows as ρ^t with ρ barely
+        above 1, so we test comfortably above (1.3x) where divergence shows
+        within a few hundred iterations.
+        """
+        threshold = convergence.max_epsilon_exact(torus, fraud_matrix())
+        below = fraud_matrix(epsilon=0.95 * threshold)
+        above = fraud_matrix(epsilon=1.3 * threshold)
+        assert linbp(torus, below, torus_explicit, max_iterations=5000).converged
+        diverged = linbp(torus, above, torus_explicit, max_iterations=500)
+        assert not diverged.converged
+        assert diverged.residual_history[-1] > diverged.residual_history[0]
+
+    def test_star_criterion_predicts_iteration_behaviour(self, torus, torus_explicit):
+        threshold = convergence.max_epsilon_exact(torus, fraud_matrix(),
+                                                  echo_cancellation=False)
+        below = fraud_matrix(epsilon=0.95 * threshold)
+        above = fraud_matrix(epsilon=1.3 * threshold)
+        assert linbp_star(torus, below, torus_explicit, max_iterations=5000).converged
+        assert not linbp_star(torus, above, torus_explicit, max_iterations=500).converged
+
+
+class TestSufficientCriteria:
+    def test_example_20_norm_bounds(self, torus):
+        """Norm-based sufficient bounds: ε_H ≈ 0.360 (LinBP), ≈ 0.455 (LinBP*)."""
+        coupling = fraud_matrix()
+        assert convergence.max_epsilon_sufficient(torus, coupling) == pytest.approx(
+            0.360, abs=2e-3)
+        assert convergence.max_epsilon_sufficient(
+            torus, coupling, echo_cancellation=False) == pytest.approx(0.455, abs=2e-3)
+
+    def test_sufficient_is_below_exact(self, torus, small_random_graph):
+        coupling = fraud_matrix()
+        for graph in (torus, small_random_graph):
+            assert convergence.max_epsilon_sufficient(graph, coupling) <= \
+                convergence.max_epsilon_exact(graph, coupling) + 1e-9
+            assert convergence.max_epsilon_sufficient(graph, coupling, False) <= \
+                convergence.max_epsilon_exact(graph, coupling, False) + 1e-9
+
+    def test_norm_bound_formula_star(self, torus):
+        # For LinBP* the bound is 1 / min-norm(A).
+        from repro.graphs import linalg
+        expected = 1.0 / linalg.minimum_norm(torus.adjacency)
+        assert convergence.sufficient_norm_bound_linbp_star(torus) == pytest.approx(
+            expected)
+
+    def test_simple_lemma23_bound_is_weaker(self, torus):
+        assert convergence.simple_norm_bound_linbp(torus) <= \
+            convergence.sufficient_norm_bound_linbp(torus) + 1e-12
+
+    def test_edgeless_graph_bounds_are_infinite(self):
+        graph = Graph.empty(5)
+        assert convergence.sufficient_norm_bound_linbp(graph) == np.inf
+        assert convergence.sufficient_norm_bound_linbp_star(graph) == np.inf
+        assert convergence.max_epsilon_exact(graph, homophily_matrix()) == np.inf
+
+
+class TestMooijKappen:
+    def test_edge_adjacency_excludes_backtracking(self):
+        # On a path 0-1-2 the directed-edge matrix has exactly two entries:
+        # (1->2 receives from 0->1) and (1->0 receives from 2->1).
+        graph = chain_graph(3)
+        matrix = convergence.edge_adjacency_matrix(graph).toarray()
+        assert matrix.sum() == 2
+
+    def test_edge_adjacency_radius_close_to_adjacency_radius_minus_one(self):
+        # Appendix G: empirically rho(A_edge) + 1 ~= rho(A) for real-ish graphs.
+        graph = ring_graph(12)
+        rho_edge = float(np.max(np.abs(np.linalg.eigvals(
+            convergence.edge_adjacency_matrix(graph).toarray()))))
+        assert rho_edge == pytest.approx(1.0, abs=1e-6)  # cycle: A_edge is a shift
+        assert graph.spectral_radius() == pytest.approx(2.0, abs=1e-9)
+
+    def test_constant_zero_for_uniform_potential(self):
+        # A completely uniform coupling carries no information: c(H) = 0.
+        coupling = CouplingMatrix.from_residual(np.zeros((3, 3)))
+        assert convergence.mooij_kappen_constant(coupling) == pytest.approx(0.0)
+
+    def test_constant_grows_with_epsilon(self):
+        small = convergence.mooij_kappen_constant(fraud_matrix(epsilon=0.05))
+        large = convergence.mooij_kappen_constant(fraud_matrix(epsilon=0.2))
+        assert 0.0 < small < large <= 1.0
+
+    def test_constant_is_one_for_zero_entries(self):
+        # The Fig. 1c matrix has a zero entry, so at full scale c(H) = 1.
+        assert convergence.mooij_kappen_constant(fraud_matrix(epsilon=1.0)) == 1.0
+
+    def test_bound_value(self, torus):
+        bound = convergence.mooij_kappen_bound(torus, fraud_matrix(epsilon=0.05))
+        assert bound > 0.0
+
+
+class TestAnalyze:
+    def test_report_fields(self, torus):
+        report = convergence.analyze(torus, fraud_matrix())
+        assert report.spectral_radius_adjacency == pytest.approx(1 + np.sqrt(2), abs=1e-9)
+        assert report.spectral_radius_coupling_unscaled == pytest.approx(0.629, abs=1e-3)
+        assert report.exact_threshold_linbp < report.exact_threshold_linbp_star
+        assert report.sufficient_threshold_linbp < report.exact_threshold_linbp
+        assert report.mooij_kappen_threshold_bp is None
+
+    def test_report_convergence_predicates(self, torus):
+        report = convergence.analyze(torus, fraud_matrix())
+        assert report.converges_linbp(0.3)
+        assert not report.converges_linbp(0.6)
+        assert report.converges_linbp_star(0.6)
+        assert not report.converges_linbp_star(0.7)
+
+    def test_report_with_mooij_kappen(self, torus):
+        report = convergence.analyze(torus, fraud_matrix(epsilon=0.05),
+                                     include_mooij_kappen=True)
+        assert report.mooij_kappen_threshold_bp is not None
+        assert report.mooij_kappen_threshold_bp > 0.0

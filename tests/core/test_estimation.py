@@ -1,0 +1,144 @@
+"""Tests for coupling-matrix estimation from partially labeled data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_coupling, linbp
+from repro.core.estimation import label_cooccurrence_counts
+from repro.coupling import fraud_matrix, is_doubly_stochastic
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, chain_graph, random_graph, ring_graph
+
+
+def _planted_graph(num_nodes=200, num_classes=3, seed=0, heterophily=False):
+    """A planted-partition graph plus its ground-truth labels."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=num_nodes)
+    edges = []
+    for source in range(num_nodes):
+        for target in range(source + 1, num_nodes):
+            same = labels[source] == labels[target]
+            if heterophily:
+                probability = 0.002 if same else 0.03
+            else:
+                probability = 0.03 if same else 0.002
+            if rng.random() < probability:
+                edges.append((source, target))
+    return Graph.from_edges(edges, num_nodes=num_nodes), labels
+
+
+class TestCooccurrenceCounts:
+    def test_counts_are_symmetric(self):
+        graph, labels = _planted_graph(80)
+        counts, observed = label_cooccurrence_counts(graph, labels, 3)
+        assert np.allclose(counts, counts.T)
+        assert observed > 0
+        assert counts.sum() == pytest.approx(2 * observed)
+
+    def test_mapping_and_array_forms_agree(self):
+        graph, labels = _planted_graph(60)
+        as_array, _ = label_cooccurrence_counts(graph, labels, 3)
+        mapping = {int(node): int(label) for node, label in enumerate(labels)}
+        as_mapping, _ = label_cooccurrence_counts(graph, mapping, 3)
+        assert np.allclose(as_array, as_mapping)
+
+    def test_unlabeled_endpoints_skipped(self):
+        graph = chain_graph(4)
+        counts, observed = label_cooccurrence_counts(graph, {0: 0, 3: 1}, 2)
+        assert observed == 0
+        assert counts.sum() == 0
+
+    def test_weights_respected(self):
+        graph = Graph.from_edges([(0, 1, 3.0)])
+        counts, _ = label_cooccurrence_counts(graph, {0: 0, 1: 1}, 2)
+        assert counts[0, 1] == pytest.approx(3.0)
+        unweighted, _ = label_cooccurrence_counts(graph, {0: 0, 1: 1}, 2,
+                                                  use_weights=False)
+        assert unweighted[0, 1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        graph = chain_graph(3)
+        with pytest.raises(ValidationError):
+            label_cooccurrence_counts(graph, {9: 0}, 2)
+        with pytest.raises(ValidationError):
+            label_cooccurrence_counts(graph, {0: 5}, 2)
+        with pytest.raises(ValidationError):
+            label_cooccurrence_counts(graph, np.zeros(7, dtype=int), 2)
+        with pytest.raises(ValidationError):
+            label_cooccurrence_counts(graph, {0: 0}, 1)
+
+
+class TestEstimateCoupling:
+    def test_estimate_is_valid_coupling(self):
+        graph, labels = _planted_graph(150)
+        estimate = estimate_coupling(graph, labels, 3)
+        assert is_doubly_stochastic(estimate.coupling.stochastic, tol=1e-6)
+        assert estimate.coupling.num_classes == 3
+        assert estimate.num_observed_edges > 0
+
+    def test_homophily_recovered(self):
+        graph, labels = _planted_graph(250, seed=1)
+        estimate = estimate_coupling(graph, labels, 3)
+        assert estimate.coupling.is_homophily()
+
+    def test_heterophily_recovered(self):
+        graph, labels = _planted_graph(250, seed=2, heterophily=True)
+        estimate = estimate_coupling(graph, labels, 3)
+        residual = estimate.coupling.unscaled_residual
+        assert np.all(np.diag(residual) < 0)
+
+    def test_partial_labels_suffice(self):
+        graph, labels = _planted_graph(300, seed=3)
+        rng = np.random.default_rng(0)
+        observed = {int(node): int(labels[node])
+                    for node in rng.choice(300, size=120, replace=False)}
+        estimate = estimate_coupling(graph, observed, 3)
+        assert estimate.coupling.is_homophily()
+
+    def test_estimated_coupling_is_usable_by_linbp(self):
+        graph, labels = _planted_graph(150, seed=4)
+        rng = np.random.default_rng(1)
+        labeled_nodes = rng.choice(150, size=40, replace=False)
+        observed = {int(node): int(labels[node]) for node in labeled_nodes}
+        estimate = estimate_coupling(graph, observed, 3)
+        epsilon = 0.5 / (estimate.coupling.spectral_radius(scaled=False)
+                         * graph.spectral_radius())
+        explicit = np.zeros((150, 3))
+        for node, label in observed.items():
+            explicit[node, :] = -0.05
+            explicit[node, label] = 0.1
+        result = linbp(graph, estimate.coupling.scaled(epsilon), explicit)
+        evaluation = [node for node in range(150) if node not in observed]
+        predicted = result.hard_labels()
+        accuracy = np.mean([predicted[node] == labels[node] for node in evaluation
+                            if predicted[node] >= 0])
+        assert accuracy > 0.6  # far above the 1/3 chance level
+
+    def test_smoothing_pulls_towards_uniform(self):
+        graph, labels = _planted_graph(120, seed=5)
+        sharp = estimate_coupling(graph, labels, 3, smoothing=0.01)
+        smooth = estimate_coupling(graph, labels, 3, smoothing=1000.0)
+        assert np.max(np.abs(smooth.coupling.unscaled_residual)) < \
+            np.max(np.abs(sharp.coupling.unscaled_residual))
+
+    def test_class_names_attached(self):
+        graph, labels = _planted_graph(80, seed=6)
+        estimate = estimate_coupling(graph, labels, 3, class_names=("a", "b", "c"))
+        assert estimate.coupling.name_of(0) == "a"
+
+    def test_no_evidence_without_smoothing_raises(self):
+        graph = chain_graph(4)
+        with pytest.raises(ValidationError):
+            estimate_coupling(graph, {0: 0, 3: 1}, 2, smoothing=0.0)
+
+    def test_no_evidence_with_smoothing_gives_uniform(self):
+        graph = chain_graph(4)
+        estimate = estimate_coupling(graph, {0: 0, 3: 1}, 2, smoothing=1.0)
+        assert np.allclose(estimate.coupling.unscaled_residual, 0.0, atol=1e-9)
+
+    def test_negative_smoothing_rejected(self):
+        graph, labels = _planted_graph(50, seed=7)
+        with pytest.raises(ValidationError):
+            estimate_coupling(graph, labels, 3, smoothing=-1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the binary (k = 2) linearization of Appendix E."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import BeliefMatrix
+from repro.core import fabp, linbp_closed_form
+from repro.core.fabp import binary_coupling, fabp_closed_form
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, chain_graph, random_graph, ring_graph
+
+
+def _scalar_explicit(labels, num_nodes, magnitude=0.1):
+    """Scalar beliefs: +magnitude for class 0, −magnitude for class 1."""
+    scalars = np.zeros(num_nodes)
+    for node, label in labels.items():
+        scalars[node] = magnitude if label == 0 else -magnitude
+    return scalars
+
+
+class TestBinaryCoupling:
+    def test_structure(self):
+        coupling = binary_coupling(0.1)
+        assert coupling.num_classes == 2
+        assert np.allclose(coupling.residual, [[0.1, -0.1], [-0.1, 0.1]])
+
+    def test_heterophily_sign(self):
+        coupling = binary_coupling(-0.2)
+        assert coupling.residual[0, 0] == pytest.approx(-0.2)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            binary_coupling(0.0)
+
+
+class TestFabpAgainstLinBP:
+    """The k = 2 instance of LinBP must coincide with the scalar closed form."""
+
+    @pytest.mark.parametrize("graph_factory", [
+        lambda: chain_graph(6),
+        lambda: ring_graph(7),
+        lambda: random_graph(25, 0.15, seed=3),
+    ])
+    def test_linbp_variant_matches_multiclass_solver(self, graph_factory):
+        graph = graph_factory()
+        h = 0.08
+        labels = {0: 0, graph.num_nodes - 1: 1}
+        scalars = _scalar_explicit(labels, graph.num_nodes)
+        explicit = np.column_stack([scalars, -scalars])
+        scalar_result = fabp_closed_form(graph, h, scalars, variant="linbp")
+        matrix_result = linbp_closed_form(graph, binary_coupling(h), explicit)
+        assert np.allclose(scalar_result, matrix_result.beliefs[:, 0], atol=1e-10)
+        assert np.allclose(-scalar_result, matrix_result.beliefs[:, 1], atol=1e-10)
+
+    def test_exact_variant_close_to_linbp_for_small_h(self):
+        graph = random_graph(25, 0.15, seed=4)
+        scalars = _scalar_explicit({0: 0, 5: 1}, graph.num_nodes)
+        small_h = 0.01
+        exact = fabp_closed_form(graph, small_h, scalars, variant="exact")
+        linearized = fabp_closed_form(graph, small_h, scalars, variant="linbp")
+        assert np.allclose(exact, linearized, atol=1e-4)
+
+    def test_exact_variant_differs_for_large_h(self):
+        graph = chain_graph(5)
+        scalars = _scalar_explicit({0: 0}, 5)
+        exact = fabp_closed_form(graph, 0.3, scalars, variant="exact")
+        linearized = fabp_closed_form(graph, 0.3, scalars, variant="linbp")
+        assert not np.allclose(exact, linearized, atol=1e-6)
+
+
+class TestFabpResult:
+    def test_result_container(self):
+        graph = chain_graph(4)
+        scalars = _scalar_explicit({0: 0, 3: 1}, 4)
+        result = fabp(graph, 0.1, scalars)
+        assert result.beliefs.shape == (4, 2)
+        assert result.hard_labels()[0] == 0 and result.hard_labels()[3] == 1
+        assert np.allclose(result.beliefs[:, 0], -result.beliefs[:, 1])
+
+    def test_homophily_propagation(self):
+        graph = chain_graph(6)
+        scalars = _scalar_explicit({0: 0, 5: 1}, 6)
+        labels = fabp(graph, 0.1, scalars).hard_labels()
+        assert labels.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_heterophily_propagation(self):
+        graph = chain_graph(5)
+        scalars = _scalar_explicit({0: 0}, 5)
+        labels = fabp(graph, -0.2, scalars).hard_labels()
+        assert labels.tolist() == [0, 1, 0, 1, 0]
+
+    def test_exact_variant_method_name(self):
+        graph = chain_graph(3)
+        result = fabp(graph, 0.1, _scalar_explicit({0: 0}, 3), variant="exact")
+        assert result.method == "FABP"
+
+
+class TestFabpValidation:
+    def test_shape_check(self):
+        with pytest.raises(ValidationError):
+            fabp_closed_form(chain_graph(3), 0.1, np.zeros(5))
+
+    def test_exact_variant_requires_small_h(self):
+        with pytest.raises(ValidationError):
+            fabp_closed_form(chain_graph(3), 0.6, np.zeros(3), variant="exact")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValidationError):
+            fabp_closed_form(chain_graph(3), 0.1, np.zeros(3), variant="bogus")

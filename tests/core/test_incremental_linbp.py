@@ -1,0 +1,129 @@
+"""Tests for incremental LinBP maintenance (superposition + warm starts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IncrementalLinBP, LinBP, linbp, linbp_closed_form
+from repro.coupling import synthetic_residual_matrix
+from repro.exceptions import ValidationError
+from repro.graphs import random_graph
+
+
+@pytest.fixture
+def workload():
+    graph = random_graph(70, 0.08, seed=4)
+    coupling = synthetic_residual_matrix(epsilon=0.3)
+    rng = np.random.default_rng(8)
+    explicit = np.zeros((70, 3))
+    for node in rng.choice(70, size=8, replace=False):
+        values = rng.uniform(-0.1, 0.1, size=2)
+        explicit[node] = [values[0], values[1], -values.sum()]
+    return graph, coupling, explicit
+
+
+class TestLabelUpdates:
+    def test_superposition_matches_recomputation(self, workload):
+        graph, coupling, explicit = workload
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        initial = explicit.copy()
+        initial[labeled[::2]] = 0.0
+        maintainer = IncrementalLinBP(graph, coupling, tolerance=1e-12)
+        maintainer.run(initial)
+        update = {int(node): explicit[node] for node in labeled[::2]}
+        result = maintainer.add_explicit_beliefs(update)
+        scratch = linbp(graph, coupling, explicit, max_iterations=300,
+                        tolerance=1e-12)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-8)
+
+    def test_matrix_form_update(self, workload):
+        graph, coupling, explicit = workload
+        maintainer = IncrementalLinBP(graph, coupling, tolerance=1e-12)
+        maintainer.run(np.zeros_like(explicit))
+        result = maintainer.add_explicit_beliefs(explicit)
+        scratch = linbp_closed_form(graph, coupling, explicit)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-7)
+
+    def test_changing_an_existing_label(self, workload):
+        graph, coupling, explicit = workload
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        maintainer = IncrementalLinBP(graph, coupling, tolerance=1e-12)
+        maintainer.run(explicit)
+        flipped = explicit.copy()
+        flipped[labeled[0]] = explicit[labeled[0]][[1, 2, 0]]  # permute the row
+        result = maintainer.add_explicit_beliefs({int(labeled[0]): flipped[labeled[0]]})
+        scratch = linbp(graph, coupling, flipped, max_iterations=300, tolerance=1e-12)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-8)
+        assert np.allclose(maintainer.explicit_beliefs, flipped)
+
+    def test_empty_update_is_noop(self, workload):
+        graph, coupling, explicit = workload
+        maintainer = IncrementalLinBP(graph, coupling)
+        before = maintainer.run(explicit)
+        after = maintainer.add_explicit_beliefs({})
+        assert np.allclose(before.beliefs, after.beliefs)
+        assert after.extra["update_iterations"] == 0
+
+
+class TestEdgeUpdates:
+    def test_warm_start_matches_recomputation(self, workload):
+        graph, coupling, explicit = workload
+        rng = np.random.default_rng(3)
+        new_edges = []
+        while len(new_edges) < 6:
+            source, target = rng.integers(0, graph.num_nodes, size=2)
+            if source != target and not graph.has_edge(int(source), int(target)):
+                new_edges.append((int(source), int(target)))
+        maintainer = IncrementalLinBP(graph, coupling, tolerance=1e-12)
+        maintainer.run(explicit)
+        result = maintainer.add_edges(new_edges)
+        scratch = linbp(graph.with_edges_added(new_edges), coupling, explicit,
+                        max_iterations=300, tolerance=1e-12)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-8)
+        assert maintainer.graph.num_edges == graph.num_edges + len(new_edges)
+
+    def test_warm_start_needs_fewer_iterations_than_cold_start(self, workload):
+        graph, coupling, explicit = workload
+        maintainer = IncrementalLinBP(graph, coupling, tolerance=1e-10)
+        maintainer.run(explicit)
+        new_edge = None
+        rng = np.random.default_rng(5)
+        while new_edge is None:
+            source, target = rng.integers(0, graph.num_nodes, size=2)
+            if source != target and not graph.has_edge(int(source), int(target)):
+                new_edge = (int(source), int(target))
+        warm = maintainer.add_edges([new_edge])
+        cold = LinBP(graph.with_edges_added([new_edge]), coupling,
+                     tolerance=1e-10).run(explicit)
+        assert warm.extra["update_iterations"] <= cold.iterations
+
+    def test_empty_edge_update_is_noop(self, workload):
+        graph, coupling, explicit = workload
+        maintainer = IncrementalLinBP(graph, coupling)
+        before = maintainer.run(explicit)
+        after = maintainer.add_edges([])
+        assert np.allclose(before.beliefs, after.beliefs)
+
+
+class TestValidation:
+    def test_requires_run_first(self, workload):
+        graph, coupling, explicit = workload
+        maintainer = IncrementalLinBP(graph, coupling)
+        with pytest.raises(ValidationError):
+            maintainer.add_explicit_beliefs({0: explicit[0]})
+        with pytest.raises(ValidationError):
+            maintainer.add_edges([(0, 1)])
+        with pytest.raises(ValidationError):
+            _ = maintainer.beliefs
+
+    def test_shape_checks(self, workload):
+        graph, coupling, explicit = workload
+        maintainer = IncrementalLinBP(graph, coupling)
+        with pytest.raises(ValidationError):
+            maintainer.run(np.zeros((3, 3)))
+        maintainer.run(explicit)
+        with pytest.raises(ValidationError):
+            maintainer.add_explicit_beliefs({0: np.zeros(7)})
+        with pytest.raises(ValidationError):
+            maintainer.add_explicit_beliefs(np.zeros((3, 3)))

@@ -1,0 +1,163 @@
+"""Unit tests for LinBP / LinBP*: iterative, closed form, convergence behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import BeliefMatrix
+from repro.coupling import CouplingMatrix, fraud_matrix, homophily_matrix
+from repro.core import LinBP, linbp, linbp_closed_form, linbp_star
+from repro.exceptions import NotConvergentParametersError, ValidationError
+from repro.graphs import Graph, chain_graph, star_graph
+
+
+class TestLinBPBasics:
+    def test_iterative_matches_closed_form(self, torus, fraud_coupling, torus_explicit):
+        iterative = linbp(torus, fraud_coupling, torus_explicit, max_iterations=500)
+        closed = linbp_closed_form(torus, fraud_coupling, torus_explicit)
+        assert iterative.converged
+        assert np.allclose(iterative.beliefs, closed.beliefs, atol=1e-8)
+
+    def test_star_variant_matches_its_closed_form(self, torus, fraud_coupling,
+                                                  torus_explicit):
+        iterative = linbp_star(torus, fraud_coupling, torus_explicit,
+                               max_iterations=500)
+        closed = linbp_closed_form(torus, fraud_coupling, torus_explicit,
+                                   echo_cancellation=False)
+        assert np.allclose(iterative.beliefs, closed.beliefs, atol=1e-8)
+
+    def test_star_differs_from_full_linbp(self, torus, fraud_coupling, torus_explicit):
+        full = linbp(torus, fraud_coupling, torus_explicit, max_iterations=500)
+        star = linbp_star(torus, fraud_coupling, torus_explicit, max_iterations=500)
+        assert not np.allclose(full.beliefs, star.beliefs, atol=1e-12)
+
+    def test_labeled_rows_dominated_by_explicit_beliefs(self, binary_chain_workload):
+        graph, coupling, explicit = binary_chain_workload
+        result = linbp(graph, coupling, explicit)
+        labels = result.hard_labels()
+        assert labels[0] == 0 and labels[5] == 1
+
+    def test_homophily_propagates_labels_along_chain(self, binary_chain_workload):
+        graph, coupling, explicit = binary_chain_workload
+        labels = linbp(graph, coupling, explicit).hard_labels()
+        # Nodes near the class-0 end get class 0, nodes near the other end class 1.
+        assert labels[1] == 0 and labels[2] == 0
+        assert labels[3] == 1 and labels[4] == 1
+
+    def test_heterophily_alternates_on_a_star(self):
+        graph = star_graph(4)
+        coupling = CouplingMatrix.from_residual(
+            np.array([[-0.1, 0.1], [0.1, -0.1]]), epsilon=0.5)
+        explicit = BeliefMatrix.from_labels({0: 0}, num_nodes=5, num_classes=2)
+        labels = linbp(graph, coupling, explicit.residuals).hard_labels()
+        assert labels[0] == 0
+        assert all(labels[leaf] == 1 for leaf in range(1, 5))
+
+    def test_fixed_iteration_budget(self, torus, fraud_coupling, torus_explicit):
+        result = linbp(torus, fraud_coupling, torus_explicit, num_iterations=3)
+        assert result.iterations == 3
+        assert len(result.residual_history) == 3
+
+    def test_zero_explicit_beliefs_give_zero_result(self, torus, fraud_coupling):
+        result = linbp(torus, fraud_coupling, np.zeros((8, 3)))
+        assert np.allclose(result.beliefs, 0.0)
+
+    def test_initial_beliefs_do_not_change_fixed_point(self, torus, fraud_coupling,
+                                                       torus_explicit):
+        runner = LinBP(torus, fraud_coupling)
+        from_zero = runner.run(torus_explicit)
+        rng = np.random.default_rng(0)
+        from_random = runner.run(torus_explicit,
+                                 initial_beliefs=rng.standard_normal((8, 3)) * 0.01)
+        assert np.allclose(from_zero.beliefs, from_random.beliefs, atol=1e-8)
+
+
+class TestLinBPScalingLemmas:
+    def test_lemma_12_scaling_explicit_beliefs(self, torus, fraud_coupling,
+                                               torus_explicit):
+        """Scaling Ê by λ scales B̂ by λ (Lemma 12)."""
+        base = linbp_closed_form(torus, fraud_coupling, torus_explicit)
+        scaled = linbp_closed_form(torus, fraud_coupling, 3.5 * torus_explicit)
+        assert np.allclose(scaled.beliefs, 3.5 * base.beliefs, atol=1e-10)
+
+    def test_corollary_13_standardized_assignment_unchanged(self, torus,
+                                                            fraud_coupling,
+                                                            torus_explicit):
+        base = linbp_closed_form(torus, fraud_coupling, torus_explicit)
+        scaled = linbp_closed_form(torus, fraud_coupling, 10.0 * torus_explicit)
+        assert np.allclose(base.standardized_beliefs(), scaled.standardized_beliefs(),
+                           atol=1e-10)
+        assert base.top_beliefs() == scaled.top_beliefs()
+
+
+class TestWeightedGraphs:
+    def test_weighted_edges_change_result(self):
+        unweighted = Graph.from_edges([(0, 1), (1, 2)])
+        weighted = Graph.from_edges([(0, 1, 2.0), (1, 2, 0.5)])
+        coupling = homophily_matrix(epsilon=0.2)
+        explicit = BeliefMatrix.from_labels({0: 0, 2: 1}, 3, 2).residuals
+        result_u = linbp_closed_form(unweighted, coupling, explicit)
+        result_w = linbp_closed_form(weighted, coupling, explicit)
+        assert not np.allclose(result_u.beliefs, result_w.beliefs)
+        # The heavier edge pulls node 1 towards class 0.
+        assert result_w.hard_labels()[1] == 0
+
+    def test_doubling_weights_equals_halving_nothing(self):
+        """Weighted closed form is consistent with Eq. 4 on the scaled matrix."""
+        graph = Graph.from_edges([(0, 1, 2.0), (1, 2, 1.0)])
+        coupling = homophily_matrix(epsilon=0.1)
+        explicit = BeliefMatrix.from_labels({0: 0}, 3, 2).residuals
+        result = linbp_closed_form(graph, coupling, explicit)
+        # Manually verify the fixed point: B = E + A B H - D B H^2.
+        adjacency = graph.adjacency.toarray()
+        degree = np.diag(graph.degree_vector())
+        beliefs = result.beliefs
+        residual = coupling.residual
+        reconstructed = explicit + adjacency @ beliefs @ residual \
+            - degree @ beliefs @ (residual @ residual)
+        assert np.allclose(beliefs, reconstructed, atol=1e-10)
+
+
+class TestConvergenceBehaviour:
+    def test_divergence_above_threshold(self, torus, torus_explicit):
+        coupling = fraud_matrix(epsilon=0.7)  # well above the 0.488 threshold
+        result = linbp(torus, coupling, torus_explicit, max_iterations=300)
+        assert not result.converged
+        assert result.residual_history[-1] > result.residual_history[0]
+
+    def test_convergence_below_threshold(self, torus, torus_explicit):
+        coupling = fraud_matrix(epsilon=0.4)
+        result = linbp(torus, coupling, torus_explicit, max_iterations=2000)
+        assert result.converged
+
+    def test_require_convergence_raises(self, torus, torus_explicit):
+        coupling = fraud_matrix(epsilon=0.55)
+        with pytest.raises(NotConvergentParametersError):
+            linbp(torus, coupling, torus_explicit, require_convergence=True)
+
+    def test_spectral_radius_accessor(self, torus):
+        runner_ok = LinBP(torus, fraud_matrix(epsilon=0.4))
+        runner_bad = LinBP(torus, fraud_matrix(epsilon=0.55))
+        assert runner_ok.spectral_radius() < 1.0 < runner_bad.spectral_radius()
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self, torus, fraud_coupling):
+        with pytest.raises(ValidationError):
+            linbp(torus, fraud_coupling, np.zeros((5, 3)))
+        with pytest.raises(ValidationError):
+            linbp(torus, fraud_coupling, np.zeros((8, 2)))
+        with pytest.raises(ValidationError):
+            linbp(torus, fraud_coupling, np.zeros(8))
+
+    def test_bad_parameters_rejected(self, torus, fraud_coupling):
+        with pytest.raises(ValidationError):
+            LinBP(torus, fraud_coupling, max_iterations=0)
+        with pytest.raises(ValidationError):
+            LinBP(torus, fraud_coupling, tolerance=0.0)
+
+    def test_bad_initial_beliefs_rejected(self, torus, fraud_coupling, torus_explicit):
+        runner = LinBP(torus, fraud_coupling)
+        with pytest.raises(ValidationError):
+            runner.run(torus_explicit, initial_beliefs=np.zeros((3, 3)))

@@ -1,0 +1,113 @@
+"""Tests for the wvRN relational-learner baseline and its relation to LinBP/SBP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import BeliefMatrix
+from repro.coupling import general_heterophily, general_homophily
+from repro.core import linbp, sbp, weighted_vote_relational_neighbor, wvrn
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, chain_graph, ring_graph, star_graph
+
+
+class TestWvrnMechanics:
+    def test_alias(self):
+        assert wvrn is weighted_vote_relational_neighbor
+
+    def test_labeled_nodes_stay_clamped(self):
+        graph = chain_graph(5)
+        explicit = BeliefMatrix.from_labels({0: 0, 4: 1}, 5, 2, magnitude=0.4).residuals
+        result = wvrn(graph, explicit)
+        assert result.hard_labels()[0] == 0
+        assert result.hard_labels()[4] == 1
+
+    def test_homophily_propagation_on_chain(self):
+        graph = chain_graph(6)
+        explicit = BeliefMatrix.from_labels({0: 0, 5: 1}, 6, 2, magnitude=0.4).residuals
+        labels = wvrn(graph, explicit).hard_labels()
+        assert labels.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_star_graph_leaves_follow_center(self):
+        graph = star_graph(5)
+        explicit = BeliefMatrix.from_labels({0: 1}, 6, 2, magnitude=0.4).residuals
+        labels = wvrn(graph, explicit).hard_labels()
+        assert np.all(labels == 1)
+
+    def test_unlabeled_component_gets_no_prediction(self):
+        graph = Graph.from_edges([(0, 1)], num_nodes=4)
+        explicit = BeliefMatrix.from_labels({0: 0}, 4, 2).residuals
+        result = wvrn(graph, explicit)
+        assert result.hard_labels()[2] == -1 and result.hard_labels()[3] == -1
+
+    def test_beliefs_are_centered(self):
+        graph = ring_graph(6)
+        explicit = BeliefMatrix.from_labels({0: 0, 3: 1}, 6, 2).residuals
+        result = wvrn(graph, explicit)
+        assert np.allclose(result.beliefs.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_converges_and_reports_history(self):
+        # Relaxation labelling diffuses slowly on a path graph, so allow a
+        # generous iteration budget before asserting convergence.
+        graph = chain_graph(8)
+        explicit = BeliefMatrix.from_labels({0: 0, 7: 1}, 8, 2).residuals
+        result = wvrn(graph, explicit, max_iterations=5000)
+        assert result.converged
+        assert result.residual_history[-1] < 1e-9
+        assert result.residual_history == sorted(result.residual_history, reverse=True)
+
+    def test_weighted_neighbors_count_more(self):
+        graph = Graph.from_edges([(0, 1, 10.0), (1, 2, 1.0)])
+        explicit = BeliefMatrix.from_labels({0: 0, 2: 1}, 3, 2, magnitude=0.4).residuals
+        result = wvrn(graph, explicit)
+        # Node 1 leans towards its heavily-weighted neighbour 0.
+        assert result.hard_labels()[1] == 0
+
+    def test_validation(self):
+        graph = chain_graph(3)
+        with pytest.raises(ValidationError):
+            wvrn(graph, np.zeros((5, 2)))
+        with pytest.raises(ValidationError):
+            wvrn(graph, np.zeros(3))
+        with pytest.raises(ValidationError):
+            wvrn(graph, np.zeros((3, 2)), max_iterations=0)
+        with pytest.raises(ValidationError):
+            wvrn(graph, np.zeros((3, 2)), tolerance=0.0)
+        bad = np.zeros((3, 2))
+        bad[0] = [5.0, -5.0]  # implies a negative probability
+        with pytest.raises(ValidationError):
+            wvrn(graph, bad)
+
+
+class TestWvrnAgainstCouplingAwareMethods:
+    def test_agrees_with_linbp_under_homophily(self):
+        rng = np.random.default_rng(2)
+        from repro.graphs import random_graph
+        graph = random_graph(50, 0.12, seed=2)
+        labels = {int(node): int(rng.integers(0, 2))
+                  for node in rng.choice(50, size=10, replace=False)}
+        explicit = BeliefMatrix.from_labels(labels, 50, 2, magnitude=0.1).residuals
+        coupling = general_homophily(2, strength=0.1,
+                                     epsilon=0.3 / graph.spectral_radius() / 0.1)
+        linbp_labels = linbp(graph, coupling, explicit).hard_labels()
+        wvrn_labels = wvrn(graph, explicit).hard_labels()
+        comparable = (linbp_labels >= 0) & (wvrn_labels >= 0)
+        agreement = np.mean(linbp_labels[comparable] == wvrn_labels[comparable])
+        assert agreement > 0.85
+
+    def test_fails_under_heterophily_where_linbp_succeeds(self):
+        """The paper's motivation for the coupling matrix: wvRN assumes homophily."""
+        graph = ring_graph(20)  # even cycle: 2-colourable
+        true_labels = np.arange(20) % 2
+        explicit = BeliefMatrix.from_labels({0: 0, 7: 1}, 20, 2, magnitude=0.1).residuals
+        coupling = general_heterophily(2, strength=0.1, epsilon=1.0)
+        linbp_labels = linbp(graph, coupling, explicit).hard_labels()
+        sbp_labels = sbp(graph, coupling, explicit).hard_labels()
+        wvrn_labels = wvrn(graph, explicit).hard_labels()
+        linbp_accuracy = np.mean(linbp_labels == true_labels)
+        sbp_accuracy = np.mean(sbp_labels == true_labels)
+        wvrn_accuracy = np.mean(wvrn_labels == true_labels)
+        assert linbp_accuracy == 1.0
+        assert sbp_accuracy == 1.0
+        assert wvrn_accuracy < 0.8

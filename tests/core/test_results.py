@@ -1,0 +1,47 @@
+"""Unit tests for the shared PropagationResult container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PropagationResult
+
+
+class TestPropagationResult:
+    def test_basic_views(self):
+        beliefs = np.array([[0.2, -0.1, -0.1], [0.0, 0.0, 0.0]])
+        result = PropagationResult(beliefs=beliefs, method="LinBP", iterations=7,
+                                   converged=True, residual_history=[0.5, 0.01])
+        assert result.num_nodes == 2
+        assert result.num_classes == 3
+        assert result.final_residual() == pytest.approx(0.01)
+        assert result.hard_labels().tolist() == [0, -1]
+        assert result.top_beliefs() == [{0}, set()]
+
+    def test_standardized_beliefs(self):
+        result = PropagationResult(beliefs=np.array([[1.0, 0.0]]), method="SBP")
+        assert np.allclose(result.standardized_beliefs(), [[1.0, -1.0]])
+
+    def test_final_residual_none_for_closed_form(self):
+        result = PropagationResult(beliefs=np.zeros((1, 2)), method="LinBP (closed form)")
+        assert result.final_residual() is None
+
+    def test_summary_mentions_method_and_status(self):
+        converged = PropagationResult(beliefs=np.zeros((3, 2)), method="LinBP",
+                                      iterations=4, converged=True,
+                                      residual_history=[0.1])
+        diverged = PropagationResult(beliefs=np.zeros((3, 2)), method="LinBP",
+                                     iterations=4, converged=False)
+        assert "LinBP" in converged.summary()
+        assert "NOT converged" in diverged.summary()
+        assert "converged" in converged.summary()
+
+    def test_belief_matrix_roundtrip(self):
+        beliefs = np.array([[0.3, -0.3]])
+        result = PropagationResult(beliefs=beliefs, method="BP")
+        assert np.allclose(result.belief_matrix().residuals, beliefs)
+
+    def test_list_input_converted_to_array(self):
+        result = PropagationResult(beliefs=[[0.1, -0.1]], method="BP")
+        assert isinstance(result.beliefs, np.ndarray)

@@ -1,0 +1,226 @@
+"""Unit tests for SBP: single-pass semantics, Lemma 17, incremental updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import BeliefMatrix, standardize
+from repro.coupling import CouplingMatrix, fraud_matrix, homophily_matrix, synthetic_residual_matrix
+from repro.core import SBP, linbp, sbp
+from repro.core.linbp import LinBP
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, chain_graph, modified_adjacency, sbp_example_graph, torus_graph
+
+
+class TestSBPSemantics:
+    def test_example_16_assignment(self):
+        """Fig. 5a: b̂'_v1 = ζ(Ĥo² (2 ê_v2 + ê_v7))."""
+        graph = sbp_example_graph()
+        coupling = fraud_matrix()
+        explicit = np.zeros((7, 3))
+        explicit[1] = [0.2, -0.1, -0.1]   # v2
+        explicit[6] = [-0.1, -0.1, 0.2]   # v7
+        result = sbp(graph, coupling, explicit)
+        unscaled = coupling.unscaled_residual
+        expected = standardize(np.linalg.matrix_power(unscaled, 2)
+                               @ (2.0 * explicit[1] + explicit[6]))
+        assert np.allclose(result.standardized_beliefs()[0], expected, atol=1e-10)
+
+    def test_example_20_assignment(self, torus, torus_explicit):
+        """Example 20: b̂'_v4 = ζ(Ĥo³ (ê_v1 + ê_v3)) ≈ [−0.069, 1.258, −1.189]."""
+        result = sbp(torus, fraud_matrix(), torus_explicit)
+        assert np.allclose(result.standardized_beliefs()[3],
+                           [-0.069214, 1.257884, -1.18867], atol=1e-5)
+
+    def test_labeled_nodes_keep_their_beliefs(self, torus, torus_explicit):
+        result = sbp(torus, fraud_matrix(), torus_explicit)
+        assert np.allclose(result.beliefs[:3], torus_explicit[:3])
+
+    def test_geodesic_numbers_reported(self, torus, torus_explicit):
+        result = sbp(torus, fraud_matrix(), torus_explicit)
+        assert result.extra["geodesic_numbers"].tolist() == [0, 0, 0, 3, 1, 1, 1, 2]
+
+    def test_unreachable_nodes_stay_zero(self):
+        graph = Graph.from_edges([(0, 1)], num_nodes=4)
+        explicit = BeliefMatrix.from_labels({0: 0}, 4, 2).residuals
+        result = sbp(graph, homophily_matrix(), explicit)
+        assert np.allclose(result.beliefs[2:], 0.0)
+        assert result.extra["geodesic_numbers"][2] == -1
+
+    def test_no_labels_all_zero(self):
+        graph = chain_graph(4)
+        result = sbp(graph, homophily_matrix(), np.zeros((4, 2)))
+        assert np.allclose(result.beliefs, 0.0)
+
+    def test_epsilon_scaling_only_rescales(self, torus, torus_explicit):
+        """SBP's standardized assignment is independent of ε_H (Section 6.2)."""
+        small = sbp(torus, fraud_matrix(epsilon=0.01), torus_explicit)
+        large = sbp(torus, fraud_matrix(epsilon=1.0), torus_explicit)
+        assert np.allclose(small.standardized_beliefs(), large.standardized_beliefs(),
+                           atol=1e-9)
+        # Raw beliefs scale as epsilon^geodesic.
+        assert np.allclose(small.beliefs[3], large.beliefs[3] * 0.01 ** 3, atol=1e-12)
+
+    def test_weighted_paths_multiply(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        coupling = homophily_matrix()
+        explicit = BeliefMatrix.from_labels({0: 0}, 3, 2, magnitude=0.1).residuals
+        result = sbp(graph, coupling, explicit)
+        residual = coupling.residual
+        expected = 6.0 * (explicit[0] @ residual @ residual)
+        assert np.allclose(result.beliefs[2], expected, atol=1e-12)
+
+
+class TestLemma17:
+    def test_sbp_equals_linbp_on_modified_adjacency(self, small_random_workload):
+        """SBP over A equals LinBP* over A*ᵀ (Lemma 17)."""
+        graph, coupling, explicit = small_random_workload
+        sbp_result = sbp(graph, coupling, explicit)
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        dag_transposed = modified_adjacency(graph, labeled.tolist()).T.tocsr()
+        # LinBP over the (directed) A*ᵀ: run the update manually until fixed point
+        # (A* is acyclic, so n iterations suffice and the echo term is irrelevant
+        # in the epsilon -> 0 limit the lemma describes).
+        residual = coupling.residual
+        beliefs = np.zeros_like(explicit)
+        for _ in range(graph.num_nodes + 1):
+            beliefs = explicit + dag_transposed @ beliefs @ residual
+        assert np.allclose(sbp_result.beliefs, beliefs, atol=1e-10)
+
+
+class TestIncrementalBeliefs:
+    def test_matches_recomputation(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        keep, add = labeled[: len(labeled) // 2], labeled[len(labeled) // 2:]
+        initial = explicit.copy()
+        initial[add] = 0.0
+        runner = SBP(graph, coupling)
+        runner.run(initial)
+        update = {int(node): explicit[node] for node in add}
+        incremental = runner.add_explicit_beliefs(update)
+        scratch = sbp(graph, coupling, explicit)
+        assert np.allclose(incremental.beliefs, scratch.beliefs, atol=1e-10)
+        assert np.array_equal(incremental.extra["geodesic_numbers"],
+                              scratch.extra["geodesic_numbers"])
+
+    def test_accepts_matrix_form(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        runner = SBP(graph, coupling)
+        runner.run(np.zeros_like(explicit))
+        result = runner.add_explicit_beliefs(explicit)
+        scratch = sbp(graph, coupling, explicit)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-10)
+
+    def test_empty_update_is_noop(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        runner = SBP(graph, coupling)
+        before = runner.run(explicit)
+        after = runner.add_explicit_beliefs({})
+        assert np.allclose(before.beliefs, after.beliefs)
+        assert after.extra["nodes_updated"] == 0
+
+    def test_changing_an_existing_label(self):
+        graph = chain_graph(4)
+        coupling = homophily_matrix(epsilon=0.3)
+        explicit = BeliefMatrix.from_labels({0: 0}, 4, 2).residuals
+        runner = SBP(graph, coupling)
+        runner.run(explicit)
+        flipped = BeliefMatrix.from_labels({0: 1}, 4, 2).residuals
+        result = runner.add_explicit_beliefs({0: flipped[0]})
+        scratch = sbp(graph, coupling, flipped)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-12)
+
+    def test_requires_run_first(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        runner = SBP(graph, coupling)
+        with pytest.raises(ValidationError):
+            runner.add_explicit_beliefs({0: explicit[0]})
+        with pytest.raises(ValidationError):
+            _ = runner.beliefs
+
+    def test_bad_vector_length_rejected(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        runner = SBP(graph, coupling)
+        runner.run(explicit)
+        with pytest.raises(ValidationError):
+            runner.add_explicit_beliefs({0: np.zeros(5)})
+
+    def test_reaches_previously_unreachable_nodes(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)], num_nodes=4)
+        coupling = homophily_matrix(epsilon=0.3)
+        explicit = BeliefMatrix.from_labels({0: 0}, 4, 2).residuals
+        runner = SBP(graph, coupling)
+        runner.run(explicit)
+        assert runner.geodesic_numbers[2] == -1
+        new_label = BeliefMatrix.from_labels({2: 1}, 4, 2).residuals
+        result = runner.add_explicit_beliefs({2: new_label[2]})
+        assert result.extra["geodesic_numbers"][3] == 1
+        assert result.hard_labels()[3] == 1
+
+
+class TestIncrementalEdges:
+    def test_matches_recomputation(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        rng = np.random.default_rng(5)
+        candidates = []
+        while len(candidates) < 5:
+            source, target = rng.integers(0, graph.num_nodes, size=2)
+            if source != target and not graph.has_edge(int(source), int(target)):
+                candidates.append((int(source), int(target)))
+        runner = SBP(graph, coupling)
+        runner.run(explicit)
+        incremental = runner.add_edges(candidates)
+        extended = graph.with_edges_added(candidates)
+        scratch = sbp(extended, coupling, explicit)
+        assert np.allclose(incremental.beliefs, scratch.beliefs, atol=1e-10)
+        assert np.array_equal(incremental.extra["geodesic_numbers"],
+                              scratch.extra["geodesic_numbers"])
+
+    def test_edge_connecting_unreachable_component(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)], num_nodes=4)
+        coupling = homophily_matrix(epsilon=0.3)
+        explicit = BeliefMatrix.from_labels({0: 0}, 4, 2).residuals
+        runner = SBP(graph, coupling)
+        runner.run(explicit)
+        result = runner.add_edges([(1, 2)])
+        scratch = sbp(graph.with_edges_added([(1, 2)]), coupling, explicit)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-12)
+        assert result.extra["geodesic_numbers"][3] == 3
+
+    def test_edge_between_equal_levels_changes_nothing(self):
+        # Both endpoints at geodesic number 1: no geodesic path uses the edge.
+        graph = Graph.from_edges([(0, 1), (0, 2)])
+        coupling = homophily_matrix(epsilon=0.3)
+        explicit = BeliefMatrix.from_labels({0: 0}, 3, 2).residuals
+        runner = SBP(graph, coupling)
+        before = runner.run(explicit)
+        after = runner.add_edges([(1, 2)])
+        assert np.allclose(before.beliefs, after.beliefs)
+
+    def test_empty_edge_list_is_noop(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        runner = SBP(graph, coupling)
+        before = runner.run(explicit)
+        after = runner.add_edges([])
+        assert np.allclose(before.beliefs, after.beliefs)
+
+    def test_weighted_edge_addition(self):
+        graph = Graph.from_edges([(0, 1)], num_nodes=3)
+        coupling = homophily_matrix(epsilon=0.3)
+        explicit = BeliefMatrix.from_labels({0: 0}, 3, 2).residuals
+        runner = SBP(graph, coupling)
+        runner.run(explicit)
+        result = runner.add_edges([(1, 2, 2.5)])
+        scratch = sbp(graph.with_edges_added([(1, 2, 2.5)]), coupling, explicit)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-12)
+
+
+class TestSBPValidation:
+    def test_shape_checks(self, torus):
+        runner = SBP(torus, fraud_matrix())
+        with pytest.raises(ValidationError):
+            runner.run(np.zeros((8, 2)))
+        with pytest.raises(ValidationError):
+            runner.run(np.zeros((5, 3)))

@@ -1,0 +1,78 @@
+"""Unit tests for the paper's concrete coupling matrices (Figs. 1, 6b, 11a)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import (
+    dblp_residual_matrix,
+    fraud_matrix,
+    general_heterophily,
+    general_homophily,
+    heterophily_matrix,
+    homophily_matrix,
+    synthetic_residual_matrix,
+)
+
+
+class TestFigurePresets:
+    def test_homophily_fig1a(self):
+        coupling = homophily_matrix()
+        assert coupling.num_classes == 2
+        assert np.allclose(coupling.stochastic, [[0.8, 0.2], [0.2, 0.8]])
+        assert coupling.is_homophily()
+        assert coupling.name_of(0) == "D"
+
+    def test_heterophily_fig1b(self):
+        coupling = heterophily_matrix()
+        assert np.allclose(coupling.stochastic, [[0.3, 0.7], [0.7, 0.3]])
+        assert not coupling.is_homophily()
+
+    def test_fraud_fig1c(self):
+        coupling = fraud_matrix()
+        expected = np.array([[0.6, 0.3, 0.1], [0.3, 0.0, 0.7], [0.1, 0.7, 0.2]])
+        assert np.allclose(coupling.stochastic, expected)
+        assert coupling.name_of(2) == "F"
+
+    def test_fraud_spectral_radius_matches_example_20(self):
+        # Example 20 quotes rho(Ho) ~= 0.629.
+        assert fraud_matrix().spectral_radius(scaled=False) == pytest.approx(0.629,
+                                                                             abs=1e-3)
+
+    def test_synthetic_fig6b(self):
+        coupling = synthetic_residual_matrix()
+        assert coupling.num_classes == 3
+        assert np.allclose(coupling.unscaled_residual * 100,
+                           [[10, -4, -6], [-4, 7, -3], [-6, -3, 9]])
+
+    def test_dblp_fig11a(self):
+        coupling = dblp_residual_matrix()
+        assert coupling.num_classes == 4
+        assert np.allclose(np.diag(coupling.unscaled_residual), 0.06)
+        off_diagonal = coupling.unscaled_residual[~np.eye(4, dtype=bool)]
+        assert np.allclose(off_diagonal, -0.02)
+        assert coupling.is_homophily()
+        assert coupling.name_of(1) == "DB"
+
+    def test_epsilon_passthrough(self):
+        assert homophily_matrix(epsilon=0.3).epsilon == 0.3
+        assert synthetic_residual_matrix(epsilon=0.01).epsilon == 0.01
+
+
+class TestGenericPresets:
+    def test_general_homophily_rows_sum_to_zero(self):
+        coupling = general_homophily(5, strength=0.2)
+        assert np.allclose(coupling.unscaled_residual.sum(axis=1), 0.0)
+        assert coupling.is_homophily()
+
+    def test_general_heterophily(self):
+        coupling = general_heterophily(4, strength=0.2)
+        assert np.all(np.diag(coupling.unscaled_residual) < 0)
+        assert not coupling.is_homophily()
+
+    def test_general_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            general_homophily(1)
+        with pytest.raises(ValueError):
+            general_heterophily(1)

@@ -1,0 +1,83 @@
+"""Unit tests for the synthetic DBLP-like heterogeneous graph generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dblp_like
+from repro.datasets.dblp import CLASS_NAMES, NODE_TYPES
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dblp_like(num_papers=300, num_authors=180, num_conferences=8,
+                              num_terms=90, seed=0)
+
+
+class TestDblpGenerator:
+    def test_node_counts(self, dataset):
+        assert dataset.graph.num_nodes == 300 + 180 + 8 + 90
+        counts = dataset.describe()
+        assert counts["paper"] == 300
+        assert counts["conference"] == 8
+
+    def test_labeled_fraction(self, dataset):
+        expected = round(0.104 * dataset.graph.num_nodes)
+        assert dataset.num_labeled == expected
+
+    def test_every_paper_has_a_conference_and_authors(self, dataset):
+        papers = np.nonzero(dataset.node_types == 0)[0]
+        conference_ids = set(np.nonzero(dataset.node_types == 2)[0].tolist())
+        author_ids = set(np.nonzero(dataset.node_types == 1)[0].tolist())
+        for paper in papers[:50]:
+            neighbors, _ = dataset.graph.neighbors(int(paper))
+            neighbor_set = set(neighbors.tolist())
+            assert neighbor_set & conference_ids
+            assert neighbor_set & author_ids
+
+    def test_non_paper_nodes_only_connect_to_papers(self, dataset):
+        non_papers = np.nonzero(dataset.node_types != 0)[0]
+        papers = set(np.nonzero(dataset.node_types == 0)[0].tolist())
+        for node in non_papers[:100]:
+            neighbors, _ = dataset.graph.neighbors(int(node))
+            assert set(neighbors.tolist()) <= papers
+
+    def test_explicit_beliefs_match_true_labels(self, dataset):
+        labeled = np.nonzero(np.any(dataset.explicit != 0.0, axis=1))[0]
+        for node in labeled[:100]:
+            assert int(np.argmax(dataset.explicit[node])) == dataset.true_labels[node]
+
+    def test_homophily_in_planted_structure(self, dataset):
+        """Most paper-author edges connect nodes of the same research area."""
+        papers = set(np.nonzero(dataset.node_types == 0)[0].tolist())
+        same = 0
+        total = 0
+        for edge in dataset.graph.edges():
+            if edge.source in papers or edge.target in papers:
+                total += 1
+                if dataset.true_labels[edge.source] == dataset.true_labels[edge.target]:
+                    same += 1
+        assert total > 0
+        assert same / total > 0.6  # noise level is 0.15, so well above half
+
+    def test_deterministic(self):
+        a = generate_dblp_like(num_papers=100, num_authors=60, num_conferences=4,
+                               num_terms=30, seed=3)
+        b = generate_dblp_like(num_papers=100, num_authors=60, num_conferences=4,
+                               num_terms=30, seed=3)
+        assert a.graph == b.graph
+        assert np.array_equal(a.true_labels, b.true_labels)
+
+    def test_coupling_is_fig11a(self, dataset):
+        assert dataset.coupling.num_classes == len(CLASS_NAMES)
+        assert dataset.coupling.is_homophily()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            generate_dblp_like(num_papers=2)
+        with pytest.raises(DatasetError):
+            generate_dblp_like(labeled_fraction=0.0)
+        with pytest.raises(DatasetError):
+            generate_dblp_like(noise=1.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the Fig. 6a Kronecker workload suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import PAPER_SUITE_SIZES, kronecker_suite
+from repro.exceptions import DatasetError
+
+
+class TestKroneckerSuite:
+    def test_paper_sizes_constant(self):
+        assert PAPER_SUITE_SIZES[0] == 243
+        assert PAPER_SUITE_SIZES[-1] == 1_594_323
+        assert all(PAPER_SUITE_SIZES[i + 1] == 3 * PAPER_SUITE_SIZES[i]
+                   for i in range(len(PAPER_SUITE_SIZES) - 1))
+
+    def test_workload_sizes_match_paper_nodes(self):
+        suite = kronecker_suite(max_index=3, seed=0)
+        assert [w.num_nodes for w in suite] == PAPER_SUITE_SIZES[:3]
+        assert [w.index for w in suite] == [1, 2, 3]
+
+    def test_explicit_fraction(self):
+        suite = kronecker_suite(max_index=2, seed=0)
+        for workload in suite:
+            expected = round(0.05 * workload.num_nodes)
+            assert workload.num_explicit == max(1, expected)
+
+    def test_update_nodes_disjoint_from_explicit(self):
+        workload = kronecker_suite(max_index=2, seed=0)[1]
+        explicit_nodes = set(np.nonzero(np.any(workload.explicit != 0, axis=1))[0])
+        update_nodes = set(np.nonzero(np.any(workload.explicit_update != 0, axis=1))[0])
+        assert not explicit_nodes & update_nodes
+
+    def test_describe_row(self):
+        workload = kronecker_suite(max_index=1, seed=0)[0]
+        description = workload.describe()
+        assert description["index"] == 1
+        assert description["nodes"] == 243
+        assert description["edges"] == workload.graph.num_directed_edges
+        assert description["explicit_5pct"] == workload.num_explicit
+
+    def test_edges_grow_roughly_geometrically(self):
+        suite = kronecker_suite(max_index=3, seed=0)
+        assert suite[1].num_edges > 2.5 * suite[0].num_edges
+        assert suite[2].num_edges > 2.5 * suite[1].num_edges
+
+    def test_deterministic(self):
+        first = kronecker_suite(max_index=2, seed=5)
+        second = kronecker_suite(max_index=2, seed=5)
+        assert first[1].graph == second[1].graph
+        assert np.array_equal(first[1].explicit, second[1].explicit)
+
+    def test_coupling_is_fig6b(self):
+        workload = kronecker_suite(max_index=1)[0]
+        assert np.allclose(workload.coupling.unscaled_residual * 100,
+                           [[10, -4, -6], [-4, 7, -3], [-6, -3, 9]])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            kronecker_suite(max_index=0)
+        with pytest.raises(DatasetError):
+            kronecker_suite(max_index=99)
+        with pytest.raises(DatasetError):
+            kronecker_suite(max_index=1, num_classes=4)

@@ -1,0 +1,108 @@
+"""Unit tests for the explicit-belief samplers (Section 7 setup)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    belief_value_grid,
+    sample_explicit_beliefs,
+    sample_explicit_nodes,
+    split_for_incremental_update,
+)
+from repro.exceptions import DatasetError
+
+
+class TestBeliefValueGrid:
+    def test_paper_grid(self):
+        grid = belief_value_grid()
+        assert grid[0] == pytest.approx(-0.1)
+        assert grid[-1] == pytest.approx(0.1)
+        assert len(grid) == 21
+        assert 0.0 in grid
+
+    def test_custom_grid(self):
+        grid = belief_value_grid(step=0.05, bound=0.2)
+        assert len(grid) == 9
+
+
+class TestSampleExplicitNodes:
+    def test_count_matches_fraction(self):
+        nodes = sample_explicit_nodes(1000, 0.05, seed=1)
+        assert len(nodes) == 50
+        assert len(set(nodes.tolist())) == 50
+
+    def test_at_least_one_node(self):
+        assert len(sample_explicit_nodes(100, 0.001, seed=1)) == 1
+
+    def test_deterministic(self):
+        assert np.array_equal(sample_explicit_nodes(500, 0.1, seed=9),
+                              sample_explicit_nodes(500, 0.1, seed=9))
+
+    def test_exclusion_respected(self):
+        exclude = list(range(50))
+        nodes = sample_explicit_nodes(100, 0.3, seed=2, exclude=exclude)
+        assert not set(nodes.tolist()) & set(exclude)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            sample_explicit_nodes(100, 0.0)
+        with pytest.raises(DatasetError):
+            sample_explicit_nodes(100, 1.5)
+
+    def test_everything_excluded(self):
+        with pytest.raises(DatasetError):
+            sample_explicit_nodes(3, 0.5, exclude=[0, 1, 2])
+
+
+class TestSampleExplicitBeliefs:
+    def test_rows_sum_to_zero(self):
+        nodes = [1, 5, 9]
+        beliefs = sample_explicit_beliefs(10, 3, nodes, seed=0)
+        assert np.allclose(beliefs.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_only_selected_rows_nonzero(self):
+        beliefs = sample_explicit_beliefs(10, 3, [2, 4], seed=0)
+        nonzero = set(np.nonzero(np.any(beliefs != 0.0, axis=1))[0].tolist())
+        assert nonzero == {2, 4}
+
+    def test_values_from_grid(self):
+        beliefs = sample_explicit_beliefs(20, 3, list(range(20)), seed=1)
+        grid = set(np.round(belief_value_grid(), 10).tolist())
+        for row in beliefs[:, :2]:
+            for value in row:
+                assert round(float(value), 10) in grid
+
+    def test_deterministic(self):
+        a = sample_explicit_beliefs(50, 3, list(range(0, 50, 5)), seed=4)
+        b = sample_explicit_beliefs(50, 3, list(range(0, 50, 5)), seed=4)
+        assert np.array_equal(a, b)
+
+    def test_invalid_classes(self):
+        with pytest.raises(DatasetError):
+            sample_explicit_beliefs(10, 1, [0])
+
+
+class TestSplitForIncrementalUpdate:
+    def test_partition_sums_to_original(self):
+        beliefs = sample_explicit_beliefs(100, 3, list(range(0, 100, 10)), seed=0)
+        initial, update = split_for_incremental_update(beliefs, 0.4, seed=1)
+        assert np.allclose(initial + update, beliefs)
+
+    def test_fraction_of_labeled_nodes_moved(self):
+        beliefs = sample_explicit_beliefs(100, 3, list(range(0, 100, 5)), seed=0)
+        initial, update = split_for_incremental_update(beliefs, 0.5, seed=2)
+        moved = np.count_nonzero(np.any(update != 0.0, axis=1))
+        assert moved == 10  # half of the 20 labeled nodes
+
+    def test_zero_and_full_fractions(self):
+        beliefs = sample_explicit_beliefs(50, 3, [0, 10, 20], seed=0)
+        initial, update = split_for_incremental_update(beliefs, 0.0, seed=0)
+        assert np.allclose(update, 0.0) and np.allclose(initial, beliefs)
+        initial, update = split_for_incremental_update(beliefs, 1.0, seed=0)
+        assert np.allclose(initial, 0.0) and np.allclose(update, beliefs)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            split_for_incremental_update(np.zeros((3, 2)), 1.4)

@@ -1,0 +1,55 @@
+"""Tests for the ablation experiments (echo term, solver choice, wvRN baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_baseline_comparison,
+    run_echo_cancellation_ablation,
+    run_solver_ablation,
+)
+
+
+class TestEchoCancellationAblation:
+    def test_both_variants_track_bp_in_convergent_range(self):
+        table = run_echo_cancellation_ablation(graph_index=2, epsilons=(1e-4, 1e-3))
+        for row in table.rows:
+            assert row["linbp_f1_vs_bp"] > 0.99
+            assert row["linbp_star_f1_vs_bp"] > 0.99
+
+    def test_echo_term_changes_spectral_radius_at_large_epsilon(self):
+        table = run_echo_cancellation_ablation(graph_index=2, epsilons=(5e-3,))
+        row = table.rows[0]
+        assert row["spectral_radius_linbp"] != pytest.approx(
+            row["spectral_radius_linbp_star"], rel=1e-6)
+
+
+class TestSolverAblation:
+    def test_solvers_agree_numerically(self):
+        table = run_solver_ablation(max_index=2)
+        for row in table.rows:
+            assert row["max_belief_difference"] < 1e-9
+
+    def test_rows_per_workload(self):
+        table = run_solver_ablation(max_index=2)
+        assert [row["index"] for row in table.rows] == [1, 2]
+        assert all(row["iterative_seconds"] > 0 and row["closed_form_seconds"] > 0
+                   for row in table.rows)
+
+
+class TestBaselineComparison:
+    def test_wvrn_competitive_under_homophily_only(self):
+        table = run_baseline_comparison(num_nodes=60, seed=0)
+        rows = {row["scenario"]: row for row in table.rows}
+        homophily = rows["homophily"]
+        heterophily = rows["heterophily"]
+        # Under homophily everyone does well.
+        assert homophily["wvrn_accuracy"] > 0.8
+        assert homophily["linbp_accuracy"] > 0.8
+        # Under heterophily the coupling-aware methods keep working and wvRN
+        # collapses to chance-level performance.
+        assert heterophily["linbp_accuracy"] > 0.95
+        assert heterophily["sbp_accuracy"] > 0.95
+        assert heterophily["wvrn_accuracy"] < 0.6

@@ -1,0 +1,89 @@
+"""Coverage for the experiment modules' secondary options and engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_explicit_fraction_sweep,
+    run_incremental_beliefs,
+    run_incremental_edges,
+    run_memory_scalability,
+    run_quality_sweep,
+    run_relational_scalability,
+)
+from repro.experiments.appendix_g_bounds import mooij_kappen_epsilon_threshold
+from repro.coupling import fraud_matrix
+from repro.datasets import kronecker_suite
+
+
+class TestScalabilityOptions:
+    def test_memory_scalability_without_bp(self):
+        table = run_memory_scalability(max_index=1, include_bp=False)
+        assert "bp_seconds" not in table.columns
+        assert table.rows[0]["linbp_seconds"] > 0
+
+    def test_memory_scalability_with_precomputed_workloads(self):
+        workloads = kronecker_suite(max_index=1, seed=0)
+        table = run_memory_scalability(workloads=workloads, include_bp=False)
+        assert len(table) == 1
+        assert table.rows[0]["nodes"] == workloads[0].num_nodes
+
+    def test_relational_scalability_with_precomputed_workloads(self):
+        workloads = kronecker_suite(max_index=1, seed=0)
+        table = run_relational_scalability(workloads=workloads)
+        assert len(table) == 1
+        assert table.rows[0]["sbp_sql_seconds"] > 0
+
+
+class TestIncrementalEngines:
+    def test_fig7e_relational_engine(self):
+        table = run_incremental_beliefs(graph_index=1, new_fractions=(0.2,),
+                                        engine="relational")
+        assert len(table) == 1
+        assert table.rows[0]["delta_sbp_seconds"] > 0
+
+    def test_fig10b_relational_engine(self):
+        table = run_incremental_edges(graph_index=1, fractions=(0.02,),
+                                      engine="relational")
+        assert len(table) == 1
+        assert table.rows[0]["num_new_edges"] > 0
+
+
+class TestQualityOptions:
+    def test_precision_floor_zero_scores_every_reachable_node(self):
+        strict = run_quality_sweep(graph_index=1, epsilons=[1e-3],
+                                   bp_precision_floor=0.0)
+        assert strict.rows[0]["nodes_below_bp_precision"] == 0
+
+    def test_excluded_node_count_grows_for_tiny_epsilon(self):
+        table = run_quality_sweep(graph_index=1, epsilons=[1e-6, 1e-3])
+        tiny, moderate = table.rows
+        assert tiny["nodes_below_bp_precision"] >= moderate["nodes_below_bp_precision"]
+
+
+class TestExplicitFractionSweep:
+    def test_single_fraction(self):
+        table = run_explicit_fraction_sweep(graph_index=1, fractions=(0.5,),
+                                            num_iterations=2)
+        assert len(table) == 1
+        assert table.rows[0]["explicit_fraction"] == 0.5
+
+
+class TestMooijKappenThreshold:
+    def test_threshold_is_positive_and_finite_for_fig1c(self):
+        threshold = mooij_kappen_epsilon_threshold(fraud_matrix(), edge_radius=2.0)
+        assert 0.0 < threshold < 10.0
+
+    def test_larger_edge_radius_gives_smaller_threshold(self):
+        small = mooij_kappen_epsilon_threshold(fraud_matrix(), edge_radius=8.0)
+        large = mooij_kappen_epsilon_threshold(fraud_matrix(), edge_radius=2.0)
+        assert small < large
+
+    def test_upper_cap_returned_when_bound_never_reached(self):
+        # With a vanishing edge radius the bound never reaches 1 inside the
+        # range where the potential stays valid, so the search cap is returned.
+        threshold = mooij_kappen_epsilon_threshold(fraud_matrix(), edge_radius=1e-6,
+                                                   upper=0.5)
+        assert threshold == 0.5

@@ -1,0 +1,186 @@
+"""Smoke and shape tests for the experiment harness (one per figure/table)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ResultTable,
+    run_bound_comparison,
+    run_dataset_table,
+    run_dblp_quality,
+    run_explicit_fraction_sweep,
+    run_incremental_beliefs,
+    run_incremental_edges,
+    run_memory_scalability,
+    run_per_iteration_timing,
+    run_quality_sweep,
+    run_relational_scalability,
+    run_timing_table,
+    run_torus_sweep,
+    torus_reference_values,
+)
+
+
+class TestResultTable:
+    def test_add_rows_and_columns(self):
+        table = ResultTable("demo")
+        table.add_row(a=1, b=2.0)
+        table.add_row(a=3, c="x")
+        assert table.columns == ["a", "b", "c"]
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2.0, None]
+        assert len(table) == 2
+
+    def test_text_rendering(self):
+        table = ResultTable("demo")
+        table.add_row(name="linbp", seconds=0.001234)
+        text = table.to_text()
+        assert "demo" in text and "linbp" in text and "seconds" in text
+
+    def test_empty_rendering(self):
+        assert "(empty)" in ResultTable("nothing").to_text()
+
+
+class TestFig4Torus:
+    def test_reference_values_match_example_20(self):
+        reference = torus_reference_values()
+        assert reference["rho_adjacency"] == pytest.approx(2.414, abs=1e-3)
+        assert reference["rho_coupling_unscaled"] == pytest.approx(0.629, abs=1e-3)
+        assert reference["exact_threshold_linbp"] == pytest.approx(0.488, abs=2e-3)
+        assert reference["exact_threshold_linbp_star"] == pytest.approx(0.658, abs=2e-3)
+        assert reference["sigma_slope"] == pytest.approx(0.332, abs=1e-3)
+        assert np.allclose(reference["sbp_standardized_v4"],
+                           [-0.069, 1.258, -1.189], atol=1e-3)
+
+    def test_sweep_converges_to_sbp_for_small_epsilon(self):
+        table = run_torus_sweep(epsilons=[0.01, 0.2])
+        small, large = table.rows[0], table.rows[1]
+        sbp_reference = np.array(small["sbp_std_beliefs"])
+        assert np.allclose(small["linbp_std_beliefs"], sbp_reference, atol=0.01)
+        assert np.allclose(small["bp_std_beliefs"], sbp_reference, atol=0.01)
+        # At larger epsilon the deviation from SBP grows.
+        deviation_small = np.abs(np.array(small["linbp_std_beliefs"]) - sbp_reference).max()
+        deviation_large = np.abs(np.array(large["linbp_std_beliefs"]) - sbp_reference).max()
+        assert deviation_large > deviation_small
+
+    def test_sweep_flags_divergence_above_threshold(self):
+        table = run_torus_sweep(epsilons=[0.3, 0.7], max_iterations=300)
+        below, above = table.rows
+        assert below["linbp_converges"] and below["linbp_converged"]
+        assert not above["linbp_converges"]
+        assert not above["linbp_converged"]
+
+    def test_sigma_prediction_matches_measurement_for_small_epsilon(self):
+        table = run_torus_sweep(epsilons=[0.02])
+        row = table.rows[0]
+        assert row["linbp_sigma"] == pytest.approx(row["sbp_sigma_prediction"],
+                                                   rel=0.05)
+
+
+class TestFig6Table:
+    def test_rows_and_columns(self):
+        table = run_dataset_table(max_index=2)
+        assert len(table) == 2
+        assert table.rows[0]["nodes"] == 243
+        assert table.rows[1]["nodes"] == 729
+        assert table.rows[1]["edges"] > table.rows[0]["edges"]
+
+
+class TestFig7Scalability:
+    def test_memory_scalability_shape(self):
+        table = run_memory_scalability(max_index=2, include_bp=True)
+        assert len(table) == 2
+        for row in table:
+            assert row["linbp_seconds"] > 0
+            assert row["bp_seconds"] > 0
+            # LinBP (direct belief updates) beats message-passing BP.
+            assert row["bp_over_linbp"] > 1.0
+
+    def test_relational_scalability_shape(self):
+        table = run_relational_scalability(max_index=2)
+        for row in table:
+            assert row["linbp_sql_seconds"] > 0
+            assert row["sbp_sql_seconds"] > 0
+            # Single-pass SBP beats iterated relational LinBP.
+            assert row["linbp_over_sbp"] > 1.0
+
+    def test_combined_timing_table(self):
+        table = run_timing_table(max_index=2, include_bp=False)
+        assert len(table) == 2
+        assert "sbp_sql_seconds" in table.columns
+
+
+class TestFig7dPerIteration:
+    def test_sbp_touches_each_edge_at_most_once(self):
+        table = run_per_iteration_timing(graph_index=2, num_iterations=5)
+        total_edges = None
+        sbp_edges = sum(row["sbp_edges"] for row in table)
+        linbp_edges_per_iteration = [row["linbp_edges"] for row in table
+                                     if row["linbp_edges"]]
+        assert linbp_edges_per_iteration
+        total_edges = linbp_edges_per_iteration[0]
+        # SBP processes at most the directed edge count once in total; LinBP
+        # processes all edges every iteration.
+        assert sbp_edges <= total_edges
+        assert sum(linbp_edges_per_iteration) == total_edges * len(linbp_edges_per_iteration)
+
+
+class TestFig7eIncremental:
+    def test_memory_engine_rows(self):
+        table = run_incremental_beliefs(graph_index=2, new_fractions=(0.1, 1.0),
+                                        engine="memory")
+        assert len(table) == 2
+        small, full = table.rows
+        assert small["nodes_updated"] <= full["nodes_updated"]
+        assert small["delta_sbp_seconds"] > 0
+
+
+class TestFig7fgQuality:
+    def test_quality_above_099_in_convergent_range(self):
+        table = run_quality_sweep(graph_index=2, epsilons=[1e-4, 1e-3])
+        for row in table:
+            assert row["within_sufficient_bound"]
+            assert row["linbp_vs_bp_f1"] > 0.99
+            assert row["linbp_star_vs_linbp_recall"] > 0.99
+            assert row["sbp_vs_linbp_f1"] > 0.95
+
+
+class TestFig10Sensitivity:
+    def test_explicit_fraction_sweep(self):
+        table = run_explicit_fraction_sweep(graph_index=2, fractions=(0.1, 0.8),
+                                            num_iterations=3)
+        assert len(table) == 2
+        assert all(row["linbp_seconds"] > 0 and row["sbp_seconds"] > 0
+                   for row in table)
+
+    def test_incremental_edges(self):
+        table = run_incremental_edges(graph_index=2, fractions=(0.01, 0.05),
+                                      engine="memory")
+        assert len(table) == 2
+        assert table.rows[0]["num_new_edges"] < table.rows[1]["num_new_edges"]
+        assert all(row["delta_sbp_seconds"] > 0 for row in table)
+
+
+class TestFig11Dblp:
+    def test_f1_above_090(self):
+        from repro.datasets import generate_dblp_like
+        dataset = generate_dblp_like(num_papers=250, num_authors=150,
+                                     num_conferences=8, num_terms=70, seed=1)
+        table = run_dblp_quality(dataset=dataset, epsilons=[1e-4, 1e-3])
+        for row in table:
+            assert row["linbp_f1"] > 0.9
+            assert row["sbp_f1"] > 0.85
+            assert row["linbp_truth_accuracy"] > 0.5
+
+
+class TestAppendixG:
+    def test_bound_comparison_shape(self):
+        table = run_bound_comparison(max_index=1)
+        row = table.rows[0]
+        # Appendix G: rho(A_edge) < rho(A), roughly rho(A) - 1.
+        assert row["rho_edge_adjacency"] < row["rho_adjacency"]
+        assert 0.0 < row["rho_gap"] < 2.5
+        assert row["linbp_epsilon_threshold"] > 0
+        assert row["mooij_kappen_epsilon_threshold"] > 0

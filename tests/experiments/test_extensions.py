@@ -1,0 +1,44 @@
+"""Tests for the future-work extension experiments (estimated Ĥ, incremental LinBP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_estimated_coupling_experiment,
+    run_incremental_linbp_experiment,
+)
+
+
+class TestEstimatedCouplingExperiment:
+    def test_ordering_of_accuracies(self):
+        table = run_estimated_coupling_experiment(num_papers=300, seed=0)
+        rows = {row["coupling"]: row for row in table.rows}
+        true_row = rows["true (Fig. 11a)"]
+        estimated_row = rows["estimated from labels"]
+        wrong_row = rows["mis-specified (heterophily)"]
+        # The estimated coupling recovers most of the accuracy of the true
+        # one, and both are far better than a mis-specified coupling.
+        assert true_row["linbp_truth_accuracy"] > 0.7
+        assert estimated_row["linbp_truth_accuracy"] > 0.6
+        assert estimated_row["linbp_truth_accuracy"] > wrong_row["linbp_truth_accuracy"] + 0.2
+        assert true_row["linbp_truth_accuracy"] >= \
+            estimated_row["linbp_truth_accuracy"] - 0.05
+
+    def test_evidence_counter_reported(self):
+        table = run_estimated_coupling_experiment(num_papers=300, seed=0)
+        assert all(row["observed_labeled_edges"] > 0 for row in table.rows)
+
+
+class TestIncrementalLinBPExperiment:
+    def test_updates_match_scratch_and_report_iterations(self):
+        table = run_incremental_linbp_experiment(graph_index=2)
+        assert len(table) == 3
+        for row in table.rows:
+            assert row["max_difference_vs_scratch"] < 1e-7
+            assert row["iterations"] >= 0
+        labels_row = table.rows[1]
+        assert "superposition" in labels_row["update"]
+        edges_row = table.rows[2]
+        assert "warm start" in edges_row["update"]

@@ -1,0 +1,96 @@
+"""Tests for the NetworkX adapters (optional dependency, installed in CI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.exceptions import ValidationError
+from repro.graphs import Graph
+from repro.graphs.adapters import from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_basic_conversion(self):
+        nx_graph = networkx.Graph()
+        nx_graph.add_edge("a", "b", weight=2.0)
+        nx_graph.add_edge("b", "c")
+        graph, index = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.edge_weight(index["a"], index["b"]) == 2.0
+        assert graph.edge_weight(index["b"], index["c"]) == 1.0
+        assert graph.name_of(index["a"]) == "a"
+
+    def test_node_order_respected(self):
+        nx_graph = networkx.path_graph(["x", "y", "z"])
+        graph, index = from_networkx(nx_graph, node_order=["z", "y", "x"])
+        assert index == {"z": 0, "y": 1, "x": 2}
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 2)
+
+    def test_node_order_must_cover_all_nodes(self):
+        nx_graph = networkx.path_graph(3)
+        with pytest.raises(ValidationError):
+            from_networkx(nx_graph, node_order=[0, 1])
+
+    def test_duplicate_node_order_rejected(self):
+        nx_graph = networkx.path_graph(2)
+        with pytest.raises(ValidationError):
+            from_networkx(nx_graph, node_order=[0, 0])
+
+    def test_directed_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            from_networkx(networkx.DiGraph([(0, 1)]))
+
+    def test_self_loops_dropped(self):
+        nx_graph = networkx.Graph()
+        nx_graph.add_edge(0, 0)
+        nx_graph.add_edge(0, 1)
+        graph, _ = from_networkx(nx_graph)
+        assert graph.num_edges == 1
+
+    def test_isolated_nodes_kept(self):
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from([0, 1, 2])
+        nx_graph.add_edge(0, 1)
+        graph, _ = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.degree(2) == 0
+
+    def test_custom_weight_attribute(self):
+        nx_graph = networkx.Graph()
+        nx_graph.add_edge(0, 1, cost=3.0)
+        graph, index = from_networkx(nx_graph, weight_attribute="cost")
+        assert graph.edge_weight(index[0], index[1]) == 3.0
+
+
+class TestToNetworkx:
+    def test_roundtrip(self):
+        graph = Graph.from_edges([(0, 1, 2.5), (1, 2, 1.0)],
+                                 node_names=["a", "b", "c"])
+        nx_graph = to_networkx(graph)
+        back, index = from_networkx(nx_graph, node_order=list(range(3)))
+        assert back == graph
+        assert nx_graph[0][1]["weight"] == 2.5
+        assert nx_graph.nodes[0]["name"] == "a"
+
+    def test_without_names(self):
+        graph = Graph.from_edges([(0, 1)])
+        nx_graph = to_networkx(graph)
+        assert "name" not in nx_graph.nodes[0]
+
+    def test_algorithms_work_on_converted_graph(self):
+        """End-to-end: bring a NetworkX graph in, run LinBP on it."""
+        from repro import BeliefMatrix, homophily_matrix, linbp
+
+        nx_graph = networkx.karate_club_graph()
+        graph, index = from_networkx(nx_graph)
+        explicit = BeliefMatrix.from_labels({index[0]: 0, index[33]: 1},
+                                            num_nodes=graph.num_nodes, num_classes=2)
+        coupling = homophily_matrix(epsilon=0.5 / graph.spectral_radius() / 0.3)
+        result = linbp(graph, coupling, explicit.residuals)
+        labels = result.hard_labels()
+        assert labels[index[0]] == 0 and labels[index[33]] == 1
+        # The two club factions should mostly follow their leaders.
+        assert 0 < labels.sum() < graph.num_nodes

@@ -1,0 +1,177 @@
+"""Unit tests for the graph generators, including the paper's example graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs import (
+    binary_tree_graph,
+    chain_graph,
+    complete_graph,
+    geodesic_numbers,
+    grid_graph,
+    kronecker_graph,
+    paper_kronecker_initiator,
+    random_graph,
+    ring_graph,
+    sbp_example_graph,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestTorusGraph:
+    """The Example 20 torus graph must reproduce the paper's numbers exactly."""
+
+    def test_size(self):
+        graph = torus_graph()
+        assert graph.num_nodes == 8
+        assert graph.num_edges == 8
+
+    def test_spectral_radius_matches_paper(self):
+        # Example 20 quotes rho(A) ~= 2.414 = 1 + sqrt(2).
+        assert torus_graph().spectral_radius() == pytest.approx(1.0 + np.sqrt(2.0),
+                                                                abs=1e-9)
+
+    def test_geodesic_structure_of_example_20(self):
+        graph = torus_graph()
+        numbers = geodesic_numbers(graph, [0, 1, 2])  # v1, v2, v3 labeled
+        # v4 (index 3) is three hops away; the inner nodes v5..v8 are closer.
+        assert numbers[3] == 3
+        assert numbers[4] == 1 and numbers[6] == 1
+        assert numbers[7] == 2
+
+    def test_shortest_paths_to_v4(self):
+        graph = torus_graph()
+        # v4 attaches only to v8; v8 attaches to v5 and v7, which attach to v1, v3.
+        neighbors, _ = graph.neighbors(3)
+        assert neighbors.tolist() == [7]
+
+    def test_node_names(self):
+        graph = torus_graph()
+        assert graph.name_of(0) == "v1"
+        assert graph.name_of(7) == "v8"
+
+
+class TestSbpExampleGraph:
+    """The Fig. 5a/b graph must match the adjacency matrix printed in Example 18."""
+
+    def test_adjacency_matches_paper(self):
+        expected = np.array([
+            [0, 0, 1, 1, 0, 0, 0],
+            [0, 0, 1, 1, 0, 0, 0],
+            [1, 1, 0, 0, 0, 0, 1],
+            [1, 1, 0, 0, 1, 0, 0],
+            [0, 0, 0, 1, 0, 1, 0],
+            [0, 0, 0, 0, 1, 0, 1],
+            [0, 0, 1, 0, 0, 1, 0],
+        ])
+        assert np.array_equal(sbp_example_graph().adjacency.toarray(), expected)
+
+    def test_geodesic_number_of_v1_is_two(self):
+        # Example 16: v1 has geodesic number 2 when v2 and v7 are labeled.
+        numbers = geodesic_numbers(sbp_example_graph(), [1, 6])
+        assert numbers[0] == 2
+
+
+class TestKroneckerGenerator:
+    def test_initiator_shape_and_symmetry(self):
+        initiator = paper_kronecker_initiator()
+        assert initiator.shape == (3, 3)
+        assert np.allclose(initiator, initiator.T)
+        assert np.all((initiator >= 0) & (initiator <= 1))
+
+    def test_node_counts_match_fig6a(self):
+        assert kronecker_graph(5, seed=1).num_nodes == 243
+        assert kronecker_graph(6, seed=1).num_nodes == 729
+
+    def test_edges_grow_with_power(self):
+        small = kronecker_graph(5, seed=2)
+        large = kronecker_graph(6, seed=2)
+        assert large.num_edges > 2 * small.num_edges
+
+    def test_deterministic_given_seed(self):
+        assert kronecker_graph(5, seed=3) == kronecker_graph(5, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert kronecker_graph(5, seed=3) != kronecker_graph(5, seed=4)
+
+    def test_invalid_power_rejected(self):
+        with pytest.raises(ValidationError):
+            kronecker_graph(0)
+
+    def test_asymmetric_initiator_rejected(self):
+        with pytest.raises(ValidationError):
+            kronecker_graph(2, initiator=np.array([[0.5, 0.1], [0.2, 0.5]]))
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            kronecker_graph(2, initiator=np.array([[1.5, 0.1], [0.1, 0.5]]))
+
+    def test_large_power_uses_sampling_path(self):
+        graph = kronecker_graph(9, seed=0)  # 19 683 nodes, sampled generator
+        assert graph.num_nodes == 3 ** 9
+        assert graph.num_edges > 3 ** 9  # denser than a tree
+
+
+class TestGenericGenerators:
+    def test_grid_graph_edge_count(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_graph_periodic_has_more_edges(self):
+        assert grid_graph(3, 3, periodic=True).num_edges > grid_graph(3, 3).num_edges
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValidationError):
+            grid_graph(0, 3)
+
+    def test_ring_graph(self):
+        graph = ring_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(node) == 2 for node in range(5))
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValidationError):
+            ring_graph(2)
+
+    def test_chain_graph(self):
+        graph = chain_graph(4)
+        assert graph.num_edges == 3
+        assert graph.degree(0) == 1 and graph.degree(1) == 2
+
+    def test_chain_single_node(self):
+        assert chain_graph(1).num_edges == 0
+
+    def test_star_graph(self):
+        graph = star_graph(4)
+        assert graph.num_nodes == 5
+        assert graph.degree(0) == 4
+
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 10
+
+    def test_binary_tree(self):
+        graph = binary_tree_graph(3)
+        assert graph.num_nodes == 15
+        assert graph.num_edges == 14
+
+    def test_binary_tree_depth_zero(self):
+        assert binary_tree_graph(0).num_nodes == 1
+
+    def test_random_graph_determinism(self):
+        assert random_graph(30, 0.2, seed=5) == random_graph(30, 0.2, seed=5)
+
+    def test_random_graph_weighted(self):
+        graph = random_graph(30, 0.3, seed=5, weighted=True, weight_range=(0.5, 2.0))
+        weights = [edge.weight for edge in graph.edges()]
+        assert weights and all(0.5 <= w <= 2.0 for w in weights)
+
+    def test_random_graph_probability_bounds(self):
+        with pytest.raises(ValidationError):
+            random_graph(10, 1.5)
+        assert random_graph(10, 0.0).num_edges == 0

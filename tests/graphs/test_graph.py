@@ -1,0 +1,196 @@
+"""Unit tests for the Graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.graphs import Edge, Graph
+
+
+class TestGraphConstruction:
+    def test_from_edges_basic(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.num_directed_edges == 4
+
+    def test_from_edges_with_weights(self):
+        graph = Graph.from_edges([(0, 1, 2.5), (1, 2, 0.5)])
+        assert graph.edge_weight(0, 1) == 2.5
+        assert graph.edge_weight(1, 0) == 2.5
+        assert graph.is_weighted
+
+    def test_from_edges_unweighted_flag(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert not graph.is_weighted
+
+    def test_duplicate_edges_sum_weights(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (1, 0, 2.0)])
+        assert graph.edge_weight(0, 1) == 3.0
+        assert graph.num_edges == 1
+
+    def test_edge_objects_accepted(self):
+        graph = Graph.from_edges([Edge(0, 1, 1.5), Edge(1, 2)])
+        assert graph.edge_weight(0, 1) == 1.5
+        assert graph.edge_weight(1, 2) == 1.0
+
+    def test_num_nodes_override(self):
+        graph = Graph.from_edges([(0, 1)], num_nodes=5)
+        assert graph.num_nodes == 5
+        assert graph.degree(4) == 0
+
+    def test_num_nodes_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph.from_edges([(0, 4)], num_nodes=3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph.from_edges([(1, 1)])
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph.from_edges([(-1, 2)])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph.from_edges([(0, 1, 0.0)])
+        with pytest.raises(ValidationError):
+            Graph.from_edges([(0, 1, -1.0)])
+
+    def test_from_matrix_requires_symmetry(self):
+        matrix = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValidationError):
+            Graph(matrix)
+
+    def test_from_matrix_requires_square(self):
+        with pytest.raises(ValidationError):
+            Graph(np.zeros((2, 3)))
+
+    def test_from_matrix_rejects_negative_weights(self):
+        matrix = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValidationError):
+            Graph(matrix)
+
+    def test_diagonal_is_dropped(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 2.0]])
+        graph = Graph(matrix)
+        assert graph.edge_weight(0, 0) == 0.0
+        assert graph.num_edges == 1
+
+    def test_empty_graph(self):
+        graph = Graph.empty(4)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_empty_graph_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph.empty(-1)
+
+    def test_node_names_length_checked(self):
+        with pytest.raises(ValidationError):
+            Graph.from_edges([(0, 1)], node_names=["a"])
+
+    def test_node_names_used(self):
+        graph = Graph.from_edges([(0, 1)], node_names=["alice", "bob"])
+        assert graph.name_of(0) == "alice"
+        assert graph.name_of(1) == "bob"
+
+    def test_default_node_names(self):
+        graph = Graph.from_edges([(0, 1)])
+        assert graph.name_of(1) == "v1"
+
+
+class TestGraphAccessors:
+    def test_neighbors(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (0, 2, 3.0)])
+        neighbors, weights = graph.neighbors(0)
+        assert set(neighbors.tolist()) == {1, 2}
+        assert sorted(weights.tolist()) == [2.0, 3.0]
+
+    def test_neighbors_out_of_range(self):
+        graph = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValidationError):
+            graph.neighbors(5)
+
+    def test_degree(self):
+        graph = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 1
+
+    def test_degree_vector_squared_weights(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (0, 2, 3.0)])
+        degrees = graph.degree_vector()
+        assert degrees[0] == pytest.approx(4.0 + 9.0)
+        assert degrees[1] == pytest.approx(4.0)
+
+    def test_degree_vector_plain_weights(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (0, 2, 3.0)])
+        degrees = graph.degree_vector(weighted_squares=False)
+        assert degrees[0] == pytest.approx(5.0)
+
+    def test_degree_matrix_diagonal(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        degree = graph.degree_matrix().toarray()
+        assert np.allclose(np.diag(degree), [1.0, 2.0, 1.0])
+        assert np.allclose(degree - np.diag(np.diag(degree)), 0.0)
+
+    def test_edges_iteration_each_once(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        assert all(edge.source < edge.target for edge in edges)
+
+    def test_directed_edges_both_directions(self):
+        graph = Graph.from_edges([(0, 1)])
+        directed = {(e.source, e.target) for e in graph.directed_edges()}
+        assert directed == {(0, 1), (1, 0)}
+
+    def test_has_edge(self):
+        graph = Graph.from_edges([(0, 1)])
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 0)
+
+    def test_len_and_repr(self):
+        graph = Graph.from_edges([(0, 1)])
+        assert len(graph) == 2
+        assert "Graph" in repr(graph)
+
+    def test_spectral_radius_of_single_edge(self):
+        graph = Graph.from_edges([(0, 1)])
+        assert graph.spectral_radius() == pytest.approx(1.0)
+
+
+class TestGraphModification:
+    def test_with_edges_added(self):
+        graph = Graph.from_edges([(0, 1)], num_nodes=4)
+        extended = graph.with_edges_added([(2, 3)])
+        assert extended.num_edges == 2
+        assert graph.num_edges == 1  # original untouched
+
+    def test_with_edges_added_weight_accumulates(self):
+        graph = Graph.from_edges([(0, 1, 1.0)])
+        extended = graph.with_edges_added([(0, 1, 2.0)])
+        assert extended.edge_weight(0, 1) == pytest.approx(3.0)
+
+    def test_scaling_weights(self):
+        graph = Graph.from_edges([(0, 1, 2.0)])
+        scaled = graph.subgraph_weights_scaled(0.5)
+        assert scaled.edge_weight(0, 1) == pytest.approx(1.0)
+
+    def test_scaling_requires_positive_factor(self):
+        graph = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValidationError):
+            graph.subgraph_weights_scaled(0.0)
+
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        c = Graph.from_edges([(0, 1)], num_nodes=3)
+        assert a == b
+        assert a != c
+        assert a != "not a graph"

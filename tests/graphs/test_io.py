@@ -1,0 +1,111 @@
+"""Unit tests for edge-list and belief-table I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs import (
+    Graph,
+    read_belief_table,
+    read_edge_list,
+    write_belief_table,
+    write_edge_list,
+)
+
+
+class TestEdgeListIO:
+    def test_roundtrip_unweighted(self, tmp_path):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        path = tmp_path / "edges.tsv"
+        write_edge_list(graph, path)
+        assert read_edge_list(path) == graph
+
+    def test_roundtrip_weighted(self, tmp_path):
+        graph = Graph.from_edges([(0, 1, 0.25), (1, 2, 3.5)])
+        path = tmp_path / "edges.tsv"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.edge_weight(0, 1) == pytest.approx(0.25)
+        assert loaded.edge_weight(1, 2) == pytest.approx(3.5)
+
+    def test_force_weights_on_unweighted(self, tmp_path):
+        graph = Graph.from_edges([(0, 1)])
+        path = tmp_path / "edges.tsv"
+        write_edge_list(graph, path, include_weights=True)
+        content = path.read_text()
+        assert "1.0" in content
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# a comment\n\n0 1\n1 2 2.0\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+        assert graph.edge_weight(1, 2) == pytest.approx(2.0)
+
+    def test_bad_column_count_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(ValidationError):
+            read_edge_list(path)
+
+    def test_num_nodes_override(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path, num_nodes=10)
+        assert graph.num_nodes == 10
+
+    def test_custom_delimiter(self, tmp_path):
+        graph = Graph.from_edges([(0, 1)])
+        path = tmp_path / "edges.csv"
+        write_edge_list(graph, path, delimiter=",")
+        assert read_edge_list(path, delimiter=",") == graph
+
+
+class TestBeliefTableIO:
+    def test_roundtrip(self, tmp_path):
+        beliefs = np.zeros((4, 3))
+        beliefs[1] = [0.1, -0.05, -0.05]
+        beliefs[3] = [-0.02, 0.04, -0.02]
+        path = tmp_path / "beliefs.tsv"
+        write_belief_table(beliefs, path)
+        loaded = read_belief_table(path, num_nodes=4, num_classes=3)
+        assert np.allclose(loaded, beliefs)
+
+    def test_zero_rows_skipped(self, tmp_path):
+        beliefs = np.zeros((3, 2))
+        beliefs[0] = [0.1, -0.1]
+        path = tmp_path / "beliefs.tsv"
+        write_belief_table(beliefs, path)
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        assert len(lines) == 2  # only node 0, one line per class
+
+    def test_keep_zero_rows(self, tmp_path):
+        beliefs = np.zeros((2, 2))
+        path = tmp_path / "beliefs.tsv"
+        write_belief_table(beliefs, path, skip_zero_rows=False)
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        assert len(lines) == 4
+
+    def test_out_of_range_node_rejected(self, tmp_path):
+        path = tmp_path / "beliefs.tsv"
+        path.write_text("9\t0\t0.5\n")
+        with pytest.raises(ValidationError):
+            read_belief_table(path, num_nodes=3, num_classes=2)
+
+    def test_out_of_range_class_rejected(self, tmp_path):
+        path = tmp_path / "beliefs.tsv"
+        path.write_text("0\t5\t0.5\n")
+        with pytest.raises(ValidationError):
+            read_belief_table(path, num_nodes=3, num_classes=2)
+
+    def test_wrong_arity_rejected(self, tmp_path):
+        path = tmp_path / "beliefs.tsv"
+        path.write_text("0\t1\n")
+        with pytest.raises(ValidationError):
+            read_belief_table(path, num_nodes=3, num_classes=2)
+
+    def test_non_2d_matrix_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_belief_table(np.zeros(3), tmp_path / "beliefs.tsv")

@@ -1,0 +1,130 @@
+"""Unit tests for the sparse linear-algebra helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.graphs import linalg
+
+
+class TestSpectralRadius:
+    def test_diagonal_matrix(self):
+        assert linalg.spectral_radius(np.diag([1.0, -3.0, 2.0])) == pytest.approx(3.0)
+
+    def test_cycle_graph_adjacency(self):
+        # The spectral radius of a cycle's adjacency matrix is exactly 2.
+        n = 10
+        adjacency = np.zeros((n, n))
+        for i in range(n):
+            adjacency[i, (i + 1) % n] = adjacency[(i + 1) % n, i] = 1.0
+        assert linalg.spectral_radius(adjacency) == pytest.approx(2.0, abs=1e-9)
+
+    def test_sparse_and_dense_agree(self):
+        rng = np.random.default_rng(0)
+        dense = rng.random((40, 40))
+        dense = dense + dense.T
+        sparse = sp.csr_matrix(dense)
+        assert linalg.spectral_radius(sparse) == pytest.approx(
+            linalg.spectral_radius(dense), rel=1e-8)
+
+    def test_large_sparse_uses_arpack(self):
+        # A 200-node star graph: spectral radius is sqrt(199).
+        n = 200
+        rows = [0] * (n - 1) + list(range(1, n))
+        cols = list(range(1, n)) + [0] * (n - 1)
+        adjacency = sp.coo_matrix((np.ones(2 * (n - 1)), (rows, cols)),
+                                  shape=(n, n)).tocsr()
+        assert linalg.spectral_radius(adjacency) == pytest.approx(np.sqrt(n - 1),
+                                                                  rel=1e-6)
+
+    def test_zero_matrix(self):
+        assert linalg.spectral_radius(sp.csr_matrix((100, 100))) == 0.0
+
+    def test_empty_matrix(self):
+        assert linalg.spectral_radius(np.zeros((0, 0))) == 0.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            linalg.spectral_radius(np.zeros((2, 3)))
+
+
+class TestNorms:
+    def test_frobenius(self):
+        matrix = np.array([[3.0, 0.0], [0.0, 4.0]])
+        assert linalg.frobenius_norm(matrix) == pytest.approx(5.0)
+        assert linalg.frobenius_norm(sp.csr_matrix(matrix)) == pytest.approx(5.0)
+
+    def test_induced_1_is_max_column_sum(self):
+        matrix = np.array([[1.0, -2.0], [3.0, 4.0]])
+        assert linalg.induced_1_norm(matrix) == pytest.approx(6.0)
+        assert linalg.induced_1_norm(sp.csr_matrix(matrix)) == pytest.approx(6.0)
+
+    def test_induced_inf_is_max_row_sum(self):
+        matrix = np.array([[1.0, -2.0], [3.0, 4.0]])
+        assert linalg.induced_inf_norm(matrix) == pytest.approx(7.0)
+        assert linalg.induced_inf_norm(sp.csr_matrix(matrix)) == pytest.approx(7.0)
+
+    def test_norms_on_empty_matrices(self):
+        empty = sp.csr_matrix((3, 3))
+        assert linalg.induced_1_norm(empty) == 0.0
+        assert linalg.induced_inf_norm(empty) == 0.0
+        assert linalg.frobenius_norm(empty) == 0.0
+
+    def test_minimum_norm_upper_bounds_spectral_radius(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.standard_normal((15, 15))
+        matrix = (matrix + matrix.T) / 2.0
+        assert linalg.minimum_norm(matrix) >= linalg.spectral_radius(matrix) - 1e-9
+
+
+class TestDegrees:
+    def test_unweighted_degree(self):
+        adjacency = np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]], dtype=float)
+        assert np.allclose(linalg.degree_vector(adjacency), [2.0, 1.0, 1.0])
+
+    def test_weighted_degree_uses_squares(self):
+        adjacency = np.array([[0, 2.0], [2.0, 0]])
+        assert np.allclose(linalg.degree_vector(adjacency), [4.0, 4.0])
+        assert np.allclose(linalg.degree_vector(adjacency, weighted_squares=False),
+                           [2.0, 2.0])
+
+    def test_degree_matrix_is_diagonal(self):
+        adjacency = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        degree = linalg.degree_matrix(adjacency).toarray()
+        assert np.allclose(degree, np.eye(2))
+
+
+class TestSymmetryAndKron:
+    def test_is_symmetric(self):
+        assert linalg.is_symmetric(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert not linalg.is_symmetric(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert not linalg.is_symmetric(np.zeros((2, 3)))
+
+    def test_is_symmetric_sparse(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 2.0], [2.0, 0.0]]))
+        assert linalg.is_symmetric(matrix)
+
+    def test_kron_spectral_radius_product_rule(self):
+        # rho(H (x) A) = rho(H) * rho(A) for the LinBP* criterion.
+        coupling = np.array([[0.1, -0.1], [-0.1, 0.1]])
+        adjacency = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        expected = linalg.spectral_radius(coupling) * linalg.spectral_radius(adjacency)
+        assert linalg.kron_spectral_radius(coupling, adjacency) == pytest.approx(
+            expected, rel=1e-8)
+
+    def test_kron_spectral_radius_with_echo_term(self):
+        coupling = np.array([[0.1, -0.1], [-0.1, 0.1]])
+        adjacency = np.array([[0, 1.0], [1.0, 0]])
+        degree = np.eye(2)
+        with_echo = linalg.kron_spectral_radius(coupling, adjacency, degree=degree)
+        without = linalg.kron_spectral_radius(coupling, adjacency)
+        assert with_echo != pytest.approx(without)
+
+    def test_to_csr_and_to_dense_roundtrip(self):
+        dense = np.array([[0.0, 1.5], [1.5, 0.0]])
+        sparse = linalg.to_csr(dense)
+        assert sp.issparse(sparse)
+        assert np.allclose(linalg.to_dense(sparse), dense)

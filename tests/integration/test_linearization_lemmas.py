@@ -1,0 +1,105 @@
+"""Integration tests for the linearization itself (Lemmas 5 and 6, Theorem 4).
+
+These tests validate the *derivation* of LinBP, not just its final output:
+in the small-residual regime the converged BP messages and beliefs must
+satisfy the centered equations the paper derives before arriving at the
+matrix form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import fraud_matrix, synthetic_residual_matrix
+from repro.core import belief_propagation, linbp
+from repro.graphs import random_graph, torus_graph
+
+
+@pytest.fixture(scope="module")
+def converged_bp_run():
+    """A converged BP run with small residuals, with messages exposed."""
+    graph = torus_graph()
+    coupling = fraud_matrix(epsilon=0.02)
+    explicit = np.zeros((8, 3))
+    explicit[0] = [0.02, -0.01, -0.01]
+    explicit[1] = [-0.01, 0.02, -0.01]
+    explicit[2] = [-0.01, -0.01, 0.02]
+    result = belief_propagation(graph, coupling, explicit, max_iterations=500,
+                                tolerance=1e-14, return_messages=True)
+    return graph, coupling, explicit, result
+
+
+class TestMessageCentering:
+    def test_messages_centered_around_one(self, converged_bp_run):
+        """Eq. 3's normalisation keeps every message vector summing to k."""
+        _, coupling, _, result = converged_bp_run
+        messages = result.extra["messages"]
+        k = coupling.num_classes
+        assert np.allclose(messages.sum(axis=1), k, atol=1e-9)
+        # Small-residual regime: messages stay near the all-ones vector.
+        assert np.max(np.abs(messages - 1.0)) < 0.1
+
+
+class TestLemma5:
+    def test_centered_belief_equation(self, converged_bp_run):
+        """b̂_s ≈ ê_s + (1/k) Σ_u m̂_us at the BP fixed point (Eq. 8)."""
+        graph, coupling, explicit, result = converged_bp_run
+        messages = result.extra["messages"]
+        targets = result.extra["message_targets"]
+        k = coupling.num_classes
+        residual_messages = messages - 1.0
+        incoming_sum = np.zeros((graph.num_nodes, k))
+        np.add.at(incoming_sum, targets, residual_messages)
+        predicted = explicit + incoming_sum / k
+        assert np.max(np.abs(predicted - result.beliefs)) < 5e-3
+
+
+class TestLemma6:
+    def test_steady_state_message_equation(self, converged_bp_run):
+        """m̂_st ≈ k (I − Ĥ²)⁻¹ Ĥ (b̂_s − Ĥ b̂_t) at the BP fixed point (Eq. 10)."""
+        graph, coupling, explicit, result = converged_bp_run
+        messages = result.extra["messages"]
+        sources = result.extra["message_sources"]
+        targets = result.extra["message_targets"]
+        residual = coupling.residual
+        k = coupling.num_classes
+        transform = k * np.linalg.inv(np.eye(k) - residual @ residual) @ residual
+        beliefs = result.beliefs
+        predicted = (beliefs[sources] - beliefs[targets] @ residual.T) @ transform.T
+        observed = messages - 1.0
+        # Residuals are O(1e-3); the linearization drops O(residual^2) terms,
+        # so agreement to a few percent of the residual scale is expected.
+        scale = max(np.max(np.abs(observed)), 1e-12)
+        assert np.max(np.abs(predicted - observed)) < 0.05 * scale + 1e-6
+
+
+class TestTheorem4:
+    def test_linbp_matches_bp_to_second_order(self):
+        """The LinBP fixed point approaches BP quadratically as residuals shrink.
+
+        Theorem 4 is a first-order approximation, so halving the residual
+        scale should shrink the (BP − LinBP) gap by roughly 4x.
+        """
+        graph = random_graph(40, 0.12, seed=3)
+        coupling = synthetic_residual_matrix()
+        rng = np.random.default_rng(0)
+        explicit = np.zeros((40, 3))
+        for node in rng.choice(40, size=6, replace=False):
+            values = rng.uniform(-0.05, 0.05, size=2)
+            explicit[node] = [values[0], values[1], -values.sum()]
+        gaps = []
+        for epsilon in (0.04, 0.02, 0.01):
+            scaled = coupling.scaled(epsilon)
+            scaled_explicit = explicit * (epsilon / 0.04)
+            bp_result = belief_propagation(graph, scaled, scaled_explicit,
+                                           max_iterations=500, tolerance=1e-14)
+            linbp_result = linbp(graph, scaled, scaled_explicit,
+                                 max_iterations=500, tolerance=1e-14)
+            gap = np.max(np.abs(bp_result.beliefs - linbp_result.beliefs))
+            scale = max(np.max(np.abs(bp_result.beliefs)), 1e-300)
+            gaps.append(gap / scale)
+        # The relative gap shrinks markedly (roughly linearly or better in the
+        # residual scale) as the linearization regime is approached.
+        assert gaps[1] < 0.6 * gaps[0]
+        assert gaps[2] < 0.6 * gaps[1]

@@ -1,0 +1,73 @@
+"""Integration tests reproducing the worked examples of the paper end-to-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import standardize
+from repro.coupling import fraud_matrix
+from repro.core import belief_propagation, convergence, linbp, linbp_star, sbp
+from repro.experiments import torus_reference_values, torus_workload
+from repro.graphs import geodesic_numbers, sbp_example_graph, torus_graph
+
+
+class TestExample16And18:
+    """The 7-node graph of Fig. 5: geodesic semantics and SBP assignment."""
+
+    def test_three_shortest_paths_drive_v1(self):
+        graph = sbp_example_graph()
+        coupling = fraud_matrix()
+        explicit = np.zeros((7, 3))
+        explicit[1] = [0.2, -0.1, -0.1]   # v2
+        explicit[6] = [-0.1, -0.1, 0.2]   # v7
+        result = sbp(graph, coupling, explicit)
+        expected = standardize(
+            coupling.unscaled_residual @ coupling.unscaled_residual
+            @ (2.0 * explicit[1] + explicit[6]))
+        assert np.allclose(result.standardized_beliefs()[0], expected, atol=1e-10)
+        assert result.extra["geodesic_numbers"][0] == 2
+
+
+class TestExample20:
+    """The full quantitative content of Example 20 / Fig. 4."""
+
+    def test_every_quoted_number(self):
+        reference = torus_reference_values()
+        assert reference["rho_adjacency"] == pytest.approx(2.414, abs=1e-3)
+        assert reference["rho_coupling_unscaled"] == pytest.approx(0.629, abs=1e-3)
+        assert reference["exact_threshold_linbp"] == pytest.approx(0.488, abs=2e-3)
+        assert reference["exact_threshold_linbp_star"] == pytest.approx(0.658, abs=2e-3)
+        assert reference["sufficient_threshold_linbp"] == pytest.approx(0.360, abs=2e-3)
+        assert reference["sufficient_threshold_linbp_star"] == pytest.approx(0.455,
+                                                                             abs=2e-3)
+        assert np.allclose(reference["sbp_standardized_v4"],
+                           [-0.069, 1.258, -1.189], atol=1e-3)
+        assert reference["sigma_slope"] == pytest.approx(0.332, abs=1e-3)
+
+    def test_all_methods_converge_to_sbp_in_the_limit(self):
+        """Theorem 19 on the torus: standardized LinBP → standardized SBP."""
+        graph, coupling, explicit = torus_workload()
+        sbp_reference = sbp(graph, coupling, explicit).standardized_beliefs()
+        for epsilon in (0.05, 0.01, 0.002):
+            scaled = coupling.scaled(epsilon)
+            linbp_std = linbp(graph, scaled, explicit,
+                              max_iterations=500).standardized_beliefs()
+            deviation = np.max(np.abs(linbp_std - sbp_reference))
+            assert deviation < 10 * epsilon  # error shrinks linearly with epsilon
+
+    def test_methods_agree_on_top_labels_in_convergent_regime(self):
+        graph, coupling, explicit = torus_workload()
+        scaled = coupling.scaled(0.1)
+        bp_labels = belief_propagation(graph, scaled, explicit).hard_labels()
+        linbp_labels = linbp(graph, scaled, explicit).hard_labels()
+        star_labels = linbp_star(graph, scaled, explicit).hard_labels()
+        sbp_labels = sbp(graph, scaled, explicit).hard_labels()
+        assert np.array_equal(bp_labels, linbp_labels)
+        assert np.array_equal(bp_labels, star_labels)
+        assert np.array_equal(bp_labels, sbp_labels)
+
+    def test_geodesic_structure(self):
+        graph = torus_graph()
+        numbers = geodesic_numbers(graph, [0, 1, 2])
+        assert numbers.tolist() == [0, 0, 0, 3, 1, 1, 1, 2]

@@ -1,0 +1,78 @@
+"""Unit tests for the Section 7 quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import QualityScores, labeling_accuracy, precision_recall
+
+
+class TestPrecisionRecall:
+    def test_paper_worked_example(self):
+        """GT: {v1→c1, v2→c2, v3→c3}; other: {v1→{c1,c2}, v2→c2, v3→c2}.
+
+        The paper computes r = 2/3 and p = 2/4.
+        """
+        ground_truth = [{0}, {1}, {2}]
+        predicted = [{0, 1}, {1}, {1}]
+        scores = precision_recall(ground_truth, predicted)
+        assert scores.recall == pytest.approx(2 / 3)
+        assert scores.precision == pytest.approx(2 / 4)
+
+    def test_perfect_agreement(self):
+        sets = [{0}, {1}, {2, 3}]
+        scores = precision_recall(sets, sets)
+        assert scores.precision == 1.0 and scores.recall == 1.0 and scores.f1 == 1.0
+
+    def test_no_overlap(self):
+        scores = precision_recall([{0}], [{1}])
+        assert scores.precision == 0.0 and scores.recall == 0.0 and scores.f1 == 0.0
+
+    def test_restrict_to_subset(self):
+        ground_truth = [{0}, {1}, {0}]
+        predicted = [{0}, {0}, {1}]
+        scores = precision_recall(ground_truth, predicted, restrict_to=[0])
+        assert scores.precision == 1.0 and scores.recall == 1.0
+
+    def test_empty_sets_handled(self):
+        scores = precision_recall([set(), {1}], [set(), {1}])
+        assert scores.recall == 1.0 and scores.precision == 1.0
+
+    def test_all_empty(self):
+        scores = precision_recall([set()], [set()])
+        assert scores.precision == 0.0 and scores.recall == 0.0
+
+    def test_f1_is_harmonic_mean(self):
+        scores = QualityScores(precision=0.5, recall=1.0, shared=1,
+                               ground_truth_size=1, predicted_size=2)
+        assert scores.f1 == pytest.approx(2 * 0.5 * 1.0 / 1.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            precision_recall([{0}], [{0}, {1}])
+
+
+class TestLabelingAccuracy:
+    def test_basic(self):
+        truth = np.array([0, 1, 2, 1])
+        predicted = np.array([0, 1, 1, 1])
+        assert labeling_accuracy(truth, predicted) == pytest.approx(0.75)
+
+    def test_missing_predictions_skipped(self):
+        truth = np.array([0, 1, 2])
+        predicted = np.array([0, -1, 2])
+        assert labeling_accuracy(truth, predicted) == pytest.approx(1.0)
+
+    def test_restrict_to(self):
+        truth = np.array([0, 1, 0])
+        predicted = np.array([1, 1, 1])
+        assert labeling_accuracy(truth, predicted, restrict_to=[1]) == 1.0
+
+    def test_all_missing(self):
+        assert labeling_accuracy(np.array([-1]), np.array([0])) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            labeling_accuracy(np.array([0, 1]), np.array([0]))

@@ -1,0 +1,137 @@
+"""Property-based tests for the propagation algorithms' structural invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.coupling import CouplingMatrix
+from repro.core import linbp, linbp_closed_form, sbp
+from repro.graphs import Graph
+
+
+@st.composite
+def random_workloads(draw):
+    """Small random graph + k-class coupling + sparse explicit beliefs."""
+    num_nodes = draw(st.integers(min_value=3, max_value=12))
+    num_classes = draw(st.integers(min_value=2, max_value=4))
+    pairs = st.tuples(st.integers(min_value=0, max_value=num_nodes - 1),
+                      st.integers(min_value=0, max_value=num_nodes - 1))
+    raw_edges = draw(st.lists(pairs, min_size=1, max_size=3 * num_nodes))
+    edges = [(s, t) for s, t in raw_edges if s != t]
+    assume(edges)
+    graph = Graph.from_edges(edges, num_nodes=num_nodes)
+    # Homophily-style residual coupling, scaled inside the convergence region.
+    strength = draw(st.floats(min_value=0.01, max_value=0.1))
+    off_diagonal = -strength / (num_classes - 1)
+    residual = np.full((num_classes, num_classes), off_diagonal)
+    np.fill_diagonal(residual, strength)
+    rho = max(abs(np.linalg.eigvals(residual))) * max(
+        1.0, float(np.max(np.abs(np.linalg.eigvals(graph.adjacency.toarray())))))
+    epsilon = 0.5 / max(rho, 1e-6)
+    epsilon = min(epsilon, 1.0)
+    coupling = CouplingMatrix.from_residual(residual, epsilon=epsilon)
+    num_labeled = draw(st.integers(min_value=1, max_value=num_nodes))
+    labeled = draw(st.lists(st.integers(min_value=0, max_value=num_nodes - 1),
+                            min_size=1, max_size=num_labeled, unique=True))
+    explicit = np.zeros((num_nodes, num_classes))
+    for node in labeled:
+        label = draw(st.integers(min_value=0, max_value=num_classes - 1))
+        explicit[node, :] = -0.1 / (num_classes - 1)
+        explicit[node, label] = 0.1
+    return graph, coupling, explicit
+
+
+class TestLinBPProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(random_workloads())
+    def test_beliefs_rows_sum_to_zero(self, workload):
+        """Residual beliefs stay centered: every row of B̂ sums to ~0."""
+        graph, coupling, explicit = workload
+        result = linbp_closed_form(graph, coupling, explicit)
+        assert np.allclose(result.beliefs.sum(axis=1), 0.0, atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_workloads())
+    def test_closed_form_is_fixed_point_of_update(self, workload):
+        """The closed form satisfies B̂ = Ê + A B̂ Ĥ − D B̂ Ĥ² exactly."""
+        graph, coupling, explicit = workload
+        beliefs = linbp_closed_form(graph, coupling, explicit).beliefs
+        adjacency = graph.adjacency.toarray()
+        degree = np.diag(graph.degree_vector())
+        residual = coupling.residual
+        reconstructed = explicit + adjacency @ beliefs @ residual \
+            - degree @ beliefs @ (residual @ residual)
+        assert np.allclose(beliefs, reconstructed, atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_workloads(), st.floats(min_value=0.1, max_value=10.0))
+    def test_linearity_in_explicit_beliefs(self, workload, factor):
+        """Lemma 12: scaling Ê scales B̂ by the same factor."""
+        graph, coupling, explicit = workload
+        base = linbp_closed_form(graph, coupling, explicit).beliefs
+        scaled = linbp_closed_form(graph, coupling, factor * explicit).beliefs
+        assert np.allclose(scaled, factor * base, atol=1e-7 * max(1.0, factor))
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_workloads())
+    def test_superposition(self, workload):
+        """LinBP is linear: the response to Ê1 + Ê2 is the sum of responses."""
+        graph, coupling, explicit = workload
+        rng = np.random.default_rng(0)
+        other = np.zeros_like(explicit)
+        node = rng.integers(0, graph.num_nodes)
+        other[node, 0] = 0.05
+        other[node, 1:] = -0.05 / (explicit.shape[1] - 1)
+        combined = linbp_closed_form(graph, coupling, explicit + other).beliefs
+        separate = linbp_closed_form(graph, coupling, explicit).beliefs \
+            + linbp_closed_form(graph, coupling, other).beliefs
+        assert np.allclose(combined, separate, atol=1e-8)
+
+
+class TestSBPProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(random_workloads())
+    def test_labeled_nodes_keep_explicit_beliefs(self, workload):
+        graph, coupling, explicit = workload
+        result = sbp(graph, coupling, explicit)
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        assert np.allclose(result.beliefs[labeled], explicit[labeled])
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_workloads())
+    def test_unreachable_nodes_have_zero_beliefs(self, workload):
+        graph, coupling, explicit = workload
+        result = sbp(graph, coupling, explicit)
+        geodesic = result.extra["geodesic_numbers"]
+        unreachable = geodesic == -1
+        assert np.allclose(result.beliefs[unreachable], 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_workloads())
+    def test_incremental_equals_scratch_for_random_split(self, workload):
+        """ΔSBP (Algorithm 3) must equal recomputation for any label split."""
+        from repro.core import SBP
+
+        graph, coupling, explicit = workload
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        assume(labeled.size >= 2)
+        add = labeled[::2]
+        initial = explicit.copy()
+        initial[add] = 0.0
+        runner = SBP(graph, coupling)
+        runner.run(initial)
+        incremental = runner.add_explicit_beliefs({int(n): explicit[n] for n in add})
+        scratch = sbp(graph, coupling, explicit)
+        assert np.allclose(incremental.beliefs, scratch.beliefs, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_workloads(), st.floats(min_value=0.01, max_value=0.9))
+    def test_standardized_assignment_independent_of_epsilon(self, workload, epsilon):
+        """Section 6.2: SBP's standardized beliefs do not depend on ε_H."""
+        graph, coupling, explicit = workload
+        reference = sbp(graph, coupling, explicit).standardized_beliefs()
+        rescaled = sbp(graph, coupling.scaled(epsilon), explicit).standardized_beliefs()
+        assert np.allclose(reference, rescaled, atol=1e-7)

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for centering and standardization invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.beliefs import (
+    BeliefMatrix,
+    center_probability_matrix,
+    explicit_residuals_from_labels,
+    standardize,
+    top_belief_sets,
+    uncenter_residual_matrix,
+)
+
+# Belief residuals in practice live well within [-1e3, 1e3]; the strategies
+# below exclude subnormal magnitudes so the invariants are not drowned in
+# floating-point pathology (near-identical huge values, 5e-324 denormals, ...).
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                          allow_infinity=False)
+
+nonzero_or_zero_floats = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-3, max_value=10.0),
+    st.floats(min_value=-10.0, max_value=-1e-3),
+)
+
+
+@st.composite
+def belief_vectors(draw, min_size=2, max_size=8):
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    return np.array(draw(st.lists(finite_floats, min_size=size, max_size=size)))
+
+
+@st.composite
+def belief_matrices(draw, max_nodes=12, max_classes=6):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    k = draw(st.integers(min_value=2, max_value=max_classes))
+    values = draw(hnp.arrays(dtype=float, shape=(n, k),
+                             elements=nonzero_or_zero_floats))
+    return values
+
+
+def _has_reasonable_spread(vector: np.ndarray) -> bool:
+    """Skip vectors whose spread is many orders below their magnitude.
+
+    Standardization divides by the standard deviation; when the spread is at
+    the level of floating-point representation error of huge values, the
+    result is dominated by rounding and the invariants below cannot hold.
+    """
+    sigma = float(vector.std())
+    return sigma == 0.0 or sigma > 1e-7 * (1.0 + float(np.abs(vector).max()))
+
+
+class TestStandardizeProperties:
+    @given(belief_vectors())
+    def test_zero_mean(self, vector):
+        assume(_has_reasonable_spread(vector))
+        result = standardize(vector)
+        assert abs(result.mean()) < 1e-6
+
+    @given(belief_vectors())
+    def test_unit_std_or_zero(self, vector):
+        assume(_has_reasonable_spread(vector))
+        result = standardize(vector)
+        sigma = result.std()
+        assert sigma == pytest.approx(1.0, abs=1e-6) or sigma == pytest.approx(0.0)
+
+    @given(belief_vectors(), st.floats(min_value=0.01, max_value=100.0))
+    def test_positive_scale_invariance(self, vector, factor):
+        assume(float(vector.std()) > 1e-7 * (1.0 + float(np.abs(vector).max())))
+        assert np.allclose(standardize(vector), standardize(factor * vector),
+                           atol=1e-7)
+
+    @given(belief_vectors(), st.floats(min_value=-50.0, max_value=50.0))
+    def test_idempotent_after_shift_of_standardized(self, vector, shift):
+        assume(_has_reasonable_spread(vector))
+        once = standardize(vector)
+        twice = standardize(once + shift)
+        assert np.allclose(once, twice, atol=1e-7) or np.allclose(once, 0.0)
+
+
+class TestCenteringProperties:
+    @given(belief_matrices())
+    def test_roundtrip(self, matrix):
+        assert np.allclose(uncenter_residual_matrix(center_probability_matrix(matrix)),
+                           matrix, atol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=2, max_value=6),
+           st.data())
+    def test_label_residuals_sum_to_zero(self, num_nodes, num_classes, data):
+        labels = data.draw(st.dictionaries(
+            st.integers(min_value=0, max_value=num_nodes - 1),
+            st.integers(min_value=0, max_value=num_classes - 1), max_size=num_nodes))
+        residuals = explicit_residuals_from_labels(labels, num_nodes, num_classes)
+        assert np.allclose(residuals.sum(axis=1), 0.0, atol=1e-12)
+        labeled = set(labels)
+        for node in range(num_nodes):
+            if node in labeled:
+                assert np.argmax(residuals[node]) == labels[node]
+            else:
+                assert np.allclose(residuals[node], 0.0)
+
+
+class TestTopBeliefProperties:
+    @given(belief_matrices())
+    def test_argmax_always_in_top_set(self, matrix):
+        top = top_belief_sets(matrix)
+        for row, classes in zip(matrix, top):
+            if np.any(row != 0.0):
+                assert int(np.argmax(row)) in classes
+
+    @given(belief_matrices(), st.floats(min_value=0.01, max_value=10.0))
+    def test_scaling_does_not_change_top_sets(self, matrix, factor):
+        assert top_belief_sets(matrix) == top_belief_sets(factor * matrix)
+
+    @given(belief_matrices())
+    def test_hard_labels_consistent_with_top_sets(self, matrix):
+        beliefs = BeliefMatrix(matrix)
+        labels = beliefs.hard_labels()
+        top = beliefs.top_beliefs()
+        for label, classes in zip(labels, top):
+            if label >= 0:
+                assert label in classes
+            else:
+                assert classes == set()

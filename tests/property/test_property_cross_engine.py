@@ -1,0 +1,86 @@
+"""Property-based cross-engine tests: matrix vs relational implementations.
+
+The strongest guarantee the library can offer is that the matrix and the
+SQL-style implementations of the same semantics agree on *arbitrary* inputs,
+not just hand-picked workloads.  These tests generate small random graphs,
+couplings and label sets with hypothesis and assert bit-level agreement (up
+to solver tolerance) between the engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.coupling import CouplingMatrix
+from repro.core import linbp, sbp
+from repro.graphs import Graph
+from repro.relational import linbp_sql, sbp_sql
+
+
+@st.composite
+def cross_engine_workloads(draw):
+    """A small random graph, a convergent coupling, and sparse labels."""
+    num_nodes = draw(st.integers(min_value=3, max_value=10))
+    num_classes = draw(st.integers(min_value=2, max_value=3))
+    pairs = st.tuples(st.integers(min_value=0, max_value=num_nodes - 1),
+                      st.integers(min_value=0, max_value=num_nodes - 1))
+    raw_edges = draw(st.lists(pairs, min_size=1, max_size=2 * num_nodes))
+    edges = [(s, t) for s, t in raw_edges if s != t]
+    assume(edges)
+    weighted = draw(st.booleans())
+    if weighted:
+        edges = [(s, t, float(draw(st.integers(min_value=1, max_value=3))))
+                 for s, t in edges]
+    graph = Graph.from_edges(edges, num_nodes=num_nodes)
+    strength = draw(st.floats(min_value=0.02, max_value=0.08))
+    off_diagonal = -strength / (num_classes - 1)
+    residual = np.full((num_classes, num_classes), off_diagonal)
+    np.fill_diagonal(residual, strength)
+    # Keep the coupling well inside the convergence region.
+    rho_a = max(float(np.max(np.abs(np.linalg.eigvals(graph.adjacency.toarray())))),
+                1.0)
+    rho_h = float(np.max(np.abs(np.linalg.eigvals(residual))))
+    coupling = CouplingMatrix.from_residual(residual,
+                                            epsilon=min(0.4 / (rho_a * rho_h), 1.0))
+    labeled = draw(st.lists(st.integers(min_value=0, max_value=num_nodes - 1),
+                            min_size=1, max_size=num_nodes, unique=True))
+    explicit = np.zeros((num_nodes, num_classes))
+    for node in labeled:
+        label = draw(st.integers(min_value=0, max_value=num_classes - 1))
+        explicit[node, :] = -0.1 / (num_classes - 1)
+        explicit[node, label] = 0.1
+    return graph, coupling, explicit
+
+
+class TestCrossEngineAgreement:
+    @settings(max_examples=20, deadline=None)
+    @given(cross_engine_workloads())
+    def test_sbp_matrix_equals_sbp_sql(self, workload):
+        graph, coupling, explicit = workload
+        matrix_result = sbp(graph, coupling, explicit)
+        sql_result = sbp_sql(graph, coupling, explicit)
+        assert np.allclose(matrix_result.beliefs, sql_result.beliefs, atol=1e-10)
+        assert np.array_equal(matrix_result.extra["geodesic_numbers"],
+                              sql_result.extra["geodesic_numbers"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(cross_engine_workloads())
+    def test_linbp_matrix_equals_linbp_sql_at_fixed_point(self, workload):
+        graph, coupling, explicit = workload
+        matrix_result = linbp(graph, coupling, explicit, max_iterations=300,
+                              tolerance=1e-12)
+        sql_result = linbp_sql(graph, coupling, explicit, num_iterations=300,
+                               tolerance=1e-12)
+        assume(matrix_result.converged and sql_result.converged)
+        assert np.allclose(matrix_result.beliefs, sql_result.beliefs, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(cross_engine_workloads())
+    def test_top_beliefs_agree_between_engines(self, workload):
+        graph, coupling, explicit = workload
+        matrix_top = sbp(graph, coupling, explicit).top_beliefs()
+        sql_top = sbp_sql(graph, coupling, explicit).top_beliefs()
+        assert matrix_top == sql_top

@@ -1,0 +1,96 @@
+"""Property-based tests for the graph substrate and geodesic machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import UNREACHABLE, Graph, geodesic_numbers, modified_adjacency
+
+
+@st.composite
+def edge_lists(draw, max_nodes=15, max_edges=30):
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = st.tuples(st.integers(min_value=0, max_value=num_nodes - 1),
+                      st.integers(min_value=0, max_value=num_nodes - 1))
+    raw_edges = draw(st.lists(pairs, min_size=1, max_size=max_edges))
+    edges = [(s, t) for s, t in raw_edges if s != t]
+    assume(edges)
+    return num_nodes, edges
+
+
+@st.composite
+def labeled_graphs(draw):
+    num_nodes, edges = draw(edge_lists())
+    num_labels = draw(st.integers(min_value=1, max_value=num_nodes))
+    labeled = draw(st.lists(st.integers(min_value=0, max_value=num_nodes - 1),
+                            min_size=1, max_size=num_labels, unique=True))
+    return Graph.from_edges(edges, num_nodes=num_nodes), labeled
+
+
+class TestGraphInvariants:
+    @given(edge_lists())
+    def test_adjacency_symmetric_and_nonnegative(self, data):
+        num_nodes, edges = data
+        graph = Graph.from_edges(edges, num_nodes=num_nodes)
+        adjacency = graph.adjacency
+        difference = (adjacency - adjacency.T)
+        assert difference.nnz == 0 or np.max(np.abs(difference.data)) < 1e-12
+        if adjacency.nnz:
+            assert adjacency.data.min() > 0.0
+
+    @given(edge_lists())
+    def test_degree_sum_equals_directed_edge_count(self, data):
+        num_nodes, edges = data
+        graph = Graph.from_edges(edges, num_nodes=num_nodes)
+        degrees = [graph.degree(node) for node in range(graph.num_nodes)]
+        assert sum(degrees) == graph.num_directed_edges
+
+    @given(edge_lists())
+    def test_neighbors_consistent_with_edges(self, data):
+        num_nodes, edges = data
+        graph = Graph.from_edges(edges, num_nodes=num_nodes)
+        for edge in graph.edges():
+            neighbors, _ = graph.neighbors(edge.source)
+            assert edge.target in neighbors.tolist()
+
+
+class TestGeodesicInvariants:
+    @given(labeled_graphs())
+    def test_labeled_nodes_are_level_zero(self, data):
+        graph, labeled = data
+        numbers = geodesic_numbers(graph, labeled)
+        assert all(numbers[node] == 0 for node in labeled)
+
+    @given(labeled_graphs())
+    def test_neighbor_levels_differ_by_at_most_one(self, data):
+        """Adjacent reachable nodes can differ by at most 1 in geodesic number."""
+        graph, labeled = data
+        numbers = geodesic_numbers(graph, labeled)
+        for edge in graph.edges():
+            a, b = numbers[edge.source], numbers[edge.target]
+            if a != UNREACHABLE and b != UNREACHABLE:
+                assert abs(a - b) <= 1
+            else:
+                # A reachable node cannot neighbour an unreachable one.
+                assert a == UNREACHABLE and b == UNREACHABLE
+
+    @given(labeled_graphs())
+    def test_modified_adjacency_is_acyclic(self, data):
+        """Lemma 17(1): A* contains no directed cycles."""
+        graph, labeled = data
+        dag = modified_adjacency(graph, labeled).toarray()
+        power = np.eye(graph.num_nodes)
+        for _ in range(graph.num_nodes + 1):
+            power = power @ dag
+        assert np.allclose(power, 0.0)
+
+    @given(labeled_graphs())
+    def test_modified_adjacency_edges_go_up_one_level(self, data):
+        graph, labeled = data
+        numbers = geodesic_numbers(graph, labeled)
+        dag = modified_adjacency(graph, labeled).tocoo()
+        for source, target in zip(dag.row, dag.col):
+            assert numbers[target] == numbers[source] + 1

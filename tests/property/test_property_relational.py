@@ -1,0 +1,128 @@
+"""Property-based tests for the relational engine against naive reference semantics."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Table, aggregate, anti_join, equi_join, project, select, union_all
+
+# Small value domains keep join outputs bounded while still exercising
+# duplicates, empty matches and multi-row groups.
+keys = st.integers(min_value=0, max_value=5)
+values = st.integers(min_value=-10, max_value=10)
+
+
+@st.composite
+def left_tables(draw):
+    rows = draw(st.lists(st.tuples(keys, values), max_size=15))
+    return Table("L", ("k", "x"), rows=rows)
+
+
+@st.composite
+def right_tables(draw):
+    rows = draw(st.lists(st.tuples(keys, values), max_size=15))
+    return Table("R", ("k", "y"), rows=rows)
+
+
+class TestJoinProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables(), right_tables())
+    def test_equi_join_matches_nested_loop_reference(self, left, right):
+        produced = sorted(equi_join(left, right, on=[("k", "k")]).rows)
+        expected = sorted((l_key, l_value, r_key, r_value)
+                          for l_key, l_value in left.rows
+                          for r_key, r_value in right.rows
+                          if l_key == r_key)
+        assert produced == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables(), right_tables())
+    def test_join_cardinality_symmetry(self, left, right):
+        one = equi_join(left, right, on=[("k", "k")])
+        two = equi_join(right, left, on=[("k", "k")])
+        assert one.num_rows == two.num_rows
+
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables(), right_tables())
+    def test_anti_join_is_complement_of_semi_join(self, left, right):
+        matched_keys = {r_key for r_key, _ in right.rows}
+        kept = sorted(anti_join(left, right, on=[("k", "k")]).rows)
+        expected = sorted(row for row in left.rows if row[0] not in matched_keys)
+        assert kept == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables(), right_tables())
+    def test_join_plus_anti_join_partition_left_rows(self, left, right):
+        """Every left row either has a join partner or appears in the anti-join."""
+        right_keys = {row[0] for row in right.rows}
+        anti_rows = anti_join(left, right, on=[("k", "k")]).rows
+        for row in left.rows:
+            has_partner = row[0] in right_keys
+            in_anti_join = row in anti_rows
+            assert has_partner != in_anti_join
+
+
+class TestAggregateProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables())
+    def test_group_by_sum_matches_reference(self, table):
+        produced = {row[0]: row[1]
+                    for row in aggregate(table, group_by=("k",),
+                                         aggregations={"total": ("sum",
+                                                                 lambda r: r["x"])})}
+        expected: Dict[int, int] = {}
+        for key, value in table.rows:
+            expected[key] = expected.get(key, 0) + value
+        assert produced == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables())
+    def test_count_adds_up_to_table_size(self, table):
+        if table.num_rows == 0:
+            return
+        counts = aggregate(table, group_by=("k",),
+                           aggregations={"n": ("count", lambda r: 1)})
+        assert sum(row[1] for row in counts) == table.num_rows
+
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables())
+    def test_min_max_bound_sum(self, table):
+        if table.num_rows == 0:
+            return
+        stats = aggregate(table, group_by=("k",),
+                          aggregations={
+                              "lo": ("min", lambda r: r["x"]),
+                              "hi": ("max", lambda r: r["x"]),
+                              "n": ("count", lambda r: 1),
+                              "total": ("sum", lambda r: r["x"]),
+                          })
+        for _, low, high, count, total in stats.rows:
+            assert low * count <= total <= high * count
+
+
+class TestSetOperatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables())
+    def test_select_then_union_with_complement_restores_bag(self, table):
+        positives = select(table, predicate=lambda r: r["x"] >= 0)
+        negatives = select(table, predicate=lambda r: r["x"] < 0)
+        combined = union_all([positives, negatives])
+        assert sorted(combined.rows) == sorted(table.rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables())
+    def test_project_distinct_removes_exact_duplicates_only(self, table):
+        distinct = project(table, ("k",), distinct=True)
+        assert sorted(row[0] for row in distinct) == sorted({row[0]
+                                                             for row in table.rows})
+
+    @settings(max_examples=60, deadline=None)
+    @given(left_tables())
+    def test_select_equality_matches_predicate_form(self, table):
+        by_kwarg = select(table, k=3)
+        by_predicate = select(table, predicate=lambda r: r["k"] == 3)
+        assert sorted(by_kwarg.rows) == sorted(by_predicate.rows)

@@ -1,0 +1,157 @@
+"""Unit tests for the relational operators (select, join, aggregate, ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RelationalError, SchemaError
+from repro.relational import Table, aggregate, anti_join, equi_join, project, select, union_all
+
+
+@pytest.fixture
+def edges():
+    return Table("A", ("s", "t", "w"),
+                 rows=[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 2.0), (2, 1, 2.0)])
+
+
+@pytest.fixture
+def beliefs():
+    return Table("B", ("v", "c", "b"),
+                 rows=[(0, 0, 0.1), (0, 1, -0.1), (2, 0, -0.2), (2, 1, 0.2)])
+
+
+class TestSelect:
+    def test_equality_filter(self, edges):
+        result = select(edges, s=1)
+        assert result.num_rows == 2
+
+    def test_predicate_filter(self, edges):
+        result = select(edges, predicate=lambda r: r["w"] > 1.5)
+        assert result.num_rows == 2
+
+    def test_combined_filters(self, edges):
+        result = select(edges, predicate=lambda r: r["w"] > 1.5, s=1)
+        assert result.num_rows == 1
+
+    def test_unknown_column_raises(self, edges):
+        with pytest.raises(SchemaError):
+            select(edges, bogus=1)
+
+
+class TestProject:
+    def test_subset_and_rename(self, edges):
+        result = project(edges, ("t", "w"), rename={"t": "target"})
+        assert result.columns == ("target", "w")
+        assert result.num_rows == edges.num_rows
+
+    def test_distinct(self, edges):
+        result = project(edges, ("w",), distinct=True)
+        assert sorted(row[0] for row in result) == [1.0, 2.0]
+
+    def test_unknown_column(self, edges):
+        with pytest.raises(SchemaError):
+            project(edges, ("nope",))
+
+
+class TestEquiJoin:
+    def test_basic_join(self, edges, beliefs):
+        joined = equi_join(edges, beliefs, on=[("s", "v")])
+        # Source 0 contributes 2 belief rows x 1 edge, source 2 contributes 2 x 1,
+        # source 1 has no beliefs.
+        assert joined.num_rows == 4
+        assert "b" in joined.columns
+
+    def test_column_collision_qualified(self):
+        left = Table("L", ("x", "y"), rows=[(1, 2)])
+        right = Table("R", ("x", "z"), rows=[(1, 3)])
+        joined = equi_join(left, right, on=[("x", "x")])
+        assert "R.x" in joined.columns
+        assert joined.rows == [(1, 2, 1, 3)]
+
+    def test_multi_column_join(self):
+        left = Table("L", ("a", "b"), rows=[(1, 1), (1, 2)])
+        right = Table("R", ("c", "d", "val"), rows=[(1, 2, "hit"), (1, 3, "miss")])
+        joined = equi_join(left, right, on=[("a", "c"), ("b", "d")])
+        assert joined.num_rows == 1
+        assert joined.rows[0][-1] == "hit"
+
+    def test_empty_on_rejected(self, edges, beliefs):
+        with pytest.raises(RelationalError):
+            equi_join(edges, beliefs, on=[])
+
+    def test_join_order_independent_of_build_side(self):
+        # Joining a big table with a small one must give the same rows either way.
+        big = Table("BIG", ("k", "x"), rows=[(i % 3, i) for i in range(20)])
+        small = Table("SMALL", ("k", "y"), rows=[(0, "a"), (1, "b")])
+        one = equi_join(big, small, on=[("k", "k")])
+        two = equi_join(small, big, on=[("k", "k")])
+        assert one.num_rows == two.num_rows
+
+
+class TestAntiJoin:
+    def test_not_exists(self, edges, beliefs):
+        result = anti_join(edges, beliefs, on=[("s", "v")])
+        assert all(row[0] == 1 for row in result)
+
+    def test_with_right_predicate(self):
+        nodes = Table("N", ("v",), rows=[(0,), (1,), (2,)])
+        geodesic = Table("G", ("v", "g"), rows=[(0, 0), (1, 5)])
+        # Exclude nodes that already have a geodesic number smaller than 3.
+        result = anti_join(nodes, geodesic, on=[("v", "v")],
+                           right_predicate=lambda r: r["g"] < 3)
+        assert sorted(row[0] for row in result) == [1, 2]
+
+    def test_empty_on_rejected(self, edges, beliefs):
+        with pytest.raises(RelationalError):
+            anti_join(edges, beliefs, on=[])
+
+
+class TestAggregate:
+    def test_group_by_sum(self, edges):
+        result = aggregate(edges, group_by=("s",),
+                           aggregations={"total": ("sum", lambda r: r["w"])})
+        totals = {row[0]: row[1] for row in result}
+        assert totals == {0: 1.0, 1: 3.0, 2: 2.0}
+
+    def test_expression_aggregate(self, edges):
+        result = aggregate(edges, group_by=("s",),
+                           aggregations={"sq": ("sum", lambda r: r["w"] ** 2)})
+        totals = {row[0]: row[1] for row in result}
+        assert totals[1] == pytest.approx(5.0)
+
+    def test_min_max_count_avg(self, edges):
+        result = aggregate(edges, group_by=(),
+                           aggregations={
+                               "lo": ("min", lambda r: r["w"]),
+                               "hi": ("max", lambda r: r["w"]),
+                               "n": ("count", lambda r: 1),
+                               "mean": ("avg", lambda r: r["w"]),
+                           })
+        assert result.rows == [(1.0, 2.0, 4, 1.5)]
+
+    def test_unknown_aggregate_rejected(self, edges):
+        with pytest.raises(RelationalError):
+            aggregate(edges, group_by=("s",),
+                      aggregations={"x": ("median", lambda r: r["w"])})
+
+    def test_unknown_group_column_rejected(self, edges):
+        with pytest.raises(SchemaError):
+            aggregate(edges, group_by=("missing",),
+                      aggregations={"x": ("sum", lambda r: r["w"])})
+
+
+class TestUnionAll:
+    def test_bag_semantics(self):
+        a = Table("A", ("x",), rows=[(1,), (2,)])
+        b = Table("B", ("x",), rows=[(2,)])
+        assert union_all([a, b]).num_rows == 3
+
+    def test_arity_mismatch_rejected(self):
+        a = Table("A", ("x",), rows=[(1,)])
+        b = Table("B", ("x", "y"), rows=[(1, 2)])
+        with pytest.raises(SchemaError):
+            union_all([a, b])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(RelationalError):
+            union_all([])

@@ -1,0 +1,77 @@
+"""Tests for Algorithm 1 (relational LinBP) against the matrix implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import fraud_matrix, homophily_matrix
+from repro.core import linbp, linbp_closed_form, linbp_star
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, chain_graph
+from repro.relational import RelationalLinBP, linbp_sql
+
+
+class TestRelationalLinBP:
+    def test_matches_matrix_linbp_with_offset_initialisation(self, torus,
+                                                             fraud_coupling,
+                                                             torus_explicit):
+        """Algorithm 1 initialises B with E, the matrix form with 0.
+
+        Therefore l SQL iterations equal l+1 matrix iterations; both converge
+        to the same fixed point.
+        """
+        sql_result = linbp_sql(torus, fraud_coupling, torus_explicit,
+                               num_iterations=4)
+        matrix_result = linbp(torus, fraud_coupling, torus_explicit,
+                              num_iterations=5)
+        assert np.allclose(sql_result.beliefs, matrix_result.beliefs, atol=1e-12)
+
+    def test_converges_to_closed_form(self, torus, fraud_coupling, torus_explicit):
+        sql_result = linbp_sql(torus, fraud_coupling, torus_explicit,
+                               num_iterations=300, tolerance=1e-12)
+        closed = linbp_closed_form(torus, fraud_coupling, torus_explicit)
+        assert sql_result.converged
+        assert np.allclose(sql_result.beliefs, closed.beliefs, atol=1e-8)
+
+    def test_star_variant_matches_matrix_star(self, torus, fraud_coupling,
+                                              torus_explicit):
+        sql_result = linbp_sql(torus, fraud_coupling, torus_explicit,
+                               num_iterations=4, echo_cancellation=False)
+        matrix_result = linbp_star(torus, fraud_coupling, torus_explicit,
+                                   num_iterations=5)
+        assert np.allclose(sql_result.beliefs, matrix_result.beliefs, atol=1e-12)
+        assert "LinBP*" in sql_result.method
+
+    def test_weighted_graph(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (1, 2, 0.5)])
+        coupling = homophily_matrix(epsilon=0.2)
+        explicit = np.array([[0.1, -0.1], [0.0, 0.0], [-0.1, 0.1]])
+        sql_result = linbp_sql(graph, coupling, explicit, num_iterations=200,
+                               tolerance=1e-13)
+        closed = linbp_closed_form(graph, coupling, explicit)
+        assert np.allclose(sql_result.beliefs, closed.beliefs, atol=1e-8)
+
+    def test_rows_processed_accounting(self, torus, fraud_coupling, torus_explicit):
+        runner = RelationalLinBP(torus, fraud_coupling)
+        runner.run(torus_explicit, num_iterations=3)
+        assert len(runner.rows_processed_per_iteration) == 3
+        assert all(count > 0 for count in runner.rows_processed_per_iteration)
+
+    def test_early_stop_with_tolerance(self, torus, fraud_coupling, torus_explicit):
+        result = linbp_sql(torus, fraud_coupling, torus_explicit,
+                           num_iterations=500, tolerance=1e-10)
+        assert result.converged
+        assert result.iterations < 500
+
+    def test_validation(self, torus, fraud_coupling):
+        with pytest.raises(ValidationError):
+            linbp_sql(torus, fraud_coupling, np.zeros((3, 3)))
+        with pytest.raises(ValidationError):
+            linbp_sql(torus, fraud_coupling, np.zeros((8, 3)), num_iterations=0)
+
+    def test_unlabeled_graph_stays_zero(self):
+        graph = chain_graph(4)
+        result = linbp_sql(graph, homophily_matrix(epsilon=0.1), np.zeros((4, 2)),
+                           num_iterations=3)
+        assert np.allclose(result.beliefs, 0.0)

@@ -1,0 +1,146 @@
+"""Tests for Algorithms 3 and 4 (relational incremental SBP updates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import homophily_matrix, synthetic_residual_matrix
+from repro.core import sbp
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, chain_graph, random_graph
+from repro.relational import (
+    RelationalSBP,
+    add_edges_sql,
+    add_explicit_beliefs_sql,
+    sbp_sql,
+)
+
+
+@pytest.fixture
+def workload():
+    graph = random_graph(50, 0.10, seed=13)
+    coupling = synthetic_residual_matrix(epsilon=0.5)
+    rng = np.random.default_rng(3)
+    explicit = np.zeros((50, 3))
+    for node in rng.choice(50, size=8, replace=False):
+        values = rng.uniform(-0.1, 0.1, size=2)
+        explicit[node] = [values[0], values[1], -values.sum()]
+    return graph, coupling, explicit
+
+
+class TestAddExplicitBeliefs:
+    def test_matches_recomputation(self, workload):
+        graph, coupling, explicit = workload
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        keep, add = labeled[:4], labeled[4:]
+        initial = explicit.copy()
+        initial[add] = 0.0
+        update = np.zeros_like(explicit)
+        update[add] = explicit[add]
+        runner = RelationalSBP(graph, coupling)
+        runner.run(initial)
+        incremental = add_explicit_beliefs_sql(runner, update)
+        scratch = sbp(graph, coupling, explicit)
+        assert np.allclose(incremental.beliefs, scratch.beliefs, atol=1e-10)
+        geodesic = {row[0]: row[1] for row in runner.relation_g}
+        expected = scratch.extra["geodesic_numbers"]
+        for node, value in geodesic.items():
+            assert value == expected[node]
+
+    def test_update_changes_existing_label(self):
+        graph = chain_graph(5)
+        coupling = homophily_matrix(epsilon=0.2)
+        explicit = np.zeros((5, 2))
+        explicit[0] = [0.1, -0.1]
+        runner = RelationalSBP(graph, coupling)
+        runner.run(explicit)
+        update = np.zeros((5, 2))
+        update[0] = [-0.1, 0.1]  # flip the label of node 0
+        result = add_explicit_beliefs_sql(runner, update)
+        scratch = sbp(graph, coupling, update)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-12)
+
+    def test_empty_update_is_noop(self, workload):
+        graph, coupling, explicit = workload
+        runner = RelationalSBP(graph, coupling)
+        before = runner.run(explicit)
+        after = add_explicit_beliefs_sql(runner, np.zeros_like(explicit))
+        assert np.allclose(before.beliefs, after.beliefs)
+        assert after.extra["nodes_updated"] == 0
+
+    def test_requires_run_first(self, workload):
+        graph, coupling, explicit = workload
+        runner = RelationalSBP(graph, coupling)
+        with pytest.raises(ValidationError):
+            add_explicit_beliefs_sql(runner, explicit)
+
+    def test_shape_checked(self, workload):
+        graph, coupling, explicit = workload
+        runner = RelationalSBP(graph, coupling)
+        runner.run(explicit)
+        with pytest.raises(ValidationError):
+            add_explicit_beliefs_sql(runner, np.zeros((3, 3)))
+
+    def test_nodes_updated_smaller_than_full_graph_for_local_update(self, workload):
+        graph, coupling, explicit = workload
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        initial = explicit.copy()
+        initial[labeled[-1]] = 0.0
+        update = np.zeros_like(explicit)
+        update[labeled[-1]] = explicit[labeled[-1]]
+        runner = RelationalSBP(graph, coupling)
+        runner.run(initial)
+        result = add_explicit_beliefs_sql(runner, update)
+        assert 0 < result.extra["nodes_updated"] <= graph.num_nodes
+
+
+class TestAddEdges:
+    def test_matches_recomputation(self, workload):
+        graph, coupling, explicit = workload
+        rng = np.random.default_rng(17)
+        new_edges = []
+        while len(new_edges) < 6:
+            source, target = rng.integers(0, graph.num_nodes, size=2)
+            if source != target and not graph.has_edge(int(source), int(target)):
+                new_edges.append((int(source), int(target)))
+        runner = RelationalSBP(graph, coupling)
+        runner.run(explicit)
+        incremental = add_edges_sql(runner, new_edges)
+        scratch = sbp(graph.with_edges_added(new_edges), coupling, explicit)
+        assert np.allclose(incremental.beliefs, scratch.beliefs, atol=1e-10)
+
+    def test_connecting_new_component(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)], num_nodes=4)
+        coupling = homophily_matrix(epsilon=0.2)
+        explicit = np.zeros((4, 2))
+        explicit[0] = [0.1, -0.1]
+        runner = RelationalSBP(graph, coupling)
+        runner.run(explicit)
+        result = add_edges_sql(runner, [(1, 2)])
+        scratch = sbp(graph.with_edges_added([(1, 2)]), coupling, explicit)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-12)
+
+    def test_empty_update_is_noop(self, workload):
+        graph, coupling, explicit = workload
+        runner = RelationalSBP(graph, coupling)
+        before = runner.run(explicit)
+        after = add_edges_sql(runner, [])
+        assert np.allclose(before.beliefs, after.beliefs)
+
+    def test_requires_run_first(self, workload):
+        graph, coupling, explicit = workload
+        runner = RelationalSBP(graph, coupling)
+        with pytest.raises(ValidationError):
+            add_edges_sql(runner, [(0, 1)])
+
+    def test_weighted_edges(self):
+        graph = Graph.from_edges([(0, 1)], num_nodes=3)
+        coupling = homophily_matrix(epsilon=0.2)
+        explicit = np.zeros((3, 2))
+        explicit[0] = [0.1, -0.1]
+        runner = RelationalSBP(graph, coupling)
+        runner.run(explicit)
+        result = add_edges_sql(runner, [(1, 2, 2.0)])
+        scratch = sbp(graph.with_edges_added([(1, 2, 2.0)]), coupling, explicit)
+        assert np.allclose(result.beliefs, scratch.beliefs, atol=1e-12)

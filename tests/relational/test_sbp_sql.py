@@ -1,0 +1,75 @@
+"""Tests for Algorithm 2 (relational SBP) against the matrix implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import fraud_matrix, homophily_matrix
+from repro.core import sbp
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, chain_graph
+from repro.relational import RelationalSBP, sbp_sql, top_belief_query
+
+
+class TestRelationalSBP:
+    def test_matches_matrix_sbp_on_torus(self, torus, fraud_coupling, torus_explicit):
+        sql_result = sbp_sql(torus, fraud_coupling, torus_explicit)
+        matrix_result = sbp(torus, fraud_coupling, torus_explicit)
+        assert np.allclose(sql_result.beliefs, matrix_result.beliefs, atol=1e-12)
+        assert np.array_equal(sql_result.extra["geodesic_numbers"],
+                              matrix_result.extra["geodesic_numbers"])
+
+    def test_matches_matrix_sbp_on_random_graph(self, small_random_workload):
+        graph, coupling, explicit = small_random_workload
+        sql_result = sbp_sql(graph, coupling, explicit)
+        matrix_result = sbp(graph, coupling, explicit)
+        assert np.allclose(sql_result.beliefs, matrix_result.beliefs, atol=1e-12)
+
+    def test_geodesic_relation_contents(self, torus, fraud_coupling, torus_explicit):
+        runner = RelationalSBP(torus, fraud_coupling)
+        runner.run(torus_explicit)
+        geodesic = {row[0]: row[1] for row in runner.relation_g}
+        assert geodesic[0] == 0 and geodesic[3] == 3 and geodesic[7] == 2
+
+    def test_unreachable_nodes_missing_from_relations(self):
+        graph = Graph.from_edges([(0, 1)], num_nodes=4)
+        explicit = np.zeros((4, 2))
+        explicit[0] = [0.1, -0.1]
+        runner = RelationalSBP(graph, homophily_matrix(epsilon=0.2))
+        result = runner.run(explicit)
+        reached = {row[0] for row in runner.relation_g}
+        assert reached == {0, 1}
+        assert np.allclose(result.beliefs[2:], 0.0)
+
+    def test_rows_processed_per_iteration_recorded(self, torus, fraud_coupling,
+                                                   torus_explicit):
+        runner = RelationalSBP(torus, fraud_coupling)
+        runner.run(torus_explicit)
+        # Levels 1, 2, 3 plus the final empty expansion.
+        assert len(runner.rows_processed_per_iteration) == 4
+
+    def test_top_belief_query_on_result(self, torus, fraud_coupling, torus_explicit):
+        runner = RelationalSBP(torus, fraud_coupling)
+        result = runner.run(torus_explicit)
+        top = top_belief_query(runner.relation_b)
+        matrix_top = result.top_beliefs()
+        for node, classes in top.items():
+            assert classes == matrix_top[node]
+
+    def test_weighted_graph(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        coupling = homophily_matrix(epsilon=0.2)
+        explicit = np.array([[0.1, -0.1], [0.0, 0.0], [0.0, 0.0]])
+        sql_result = sbp_sql(graph, coupling, explicit)
+        matrix_result = sbp(graph, coupling, explicit)
+        assert np.allclose(sql_result.beliefs, matrix_result.beliefs, atol=1e-12)
+
+    def test_validation(self, torus, fraud_coupling):
+        with pytest.raises(ValidationError):
+            sbp_sql(torus, fraud_coupling, np.zeros((5, 3)))
+
+    def test_no_labels(self):
+        graph = chain_graph(3)
+        result = sbp_sql(graph, homophily_matrix(), np.zeros((3, 2)))
+        assert np.allclose(result.beliefs, 0.0)

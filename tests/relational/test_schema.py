@@ -1,0 +1,91 @@
+"""Unit tests for the relational schema helpers (A, E, H, D, H2, top beliefs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import fraud_matrix, homophily_matrix
+from repro.exceptions import ValidationError
+from repro.graphs import Graph
+from repro.relational import (
+    Table,
+    adjacency_table,
+    beliefs_to_matrix,
+    coupling_squared_table,
+    coupling_table,
+    degree_table,
+    explicit_belief_table,
+    geodesic_to_vector,
+    top_belief_query,
+)
+
+
+class TestBaseRelations:
+    def test_adjacency_table_has_both_directions(self):
+        graph = Graph.from_edges([(0, 1, 2.0)])
+        table = adjacency_table(graph)
+        assert sorted(table.rows) == [(0, 1, 2.0), (1, 0, 2.0)]
+
+    def test_explicit_belief_table_skips_zero_rows(self):
+        explicit = np.zeros((3, 2))
+        explicit[1] = [0.1, -0.1]
+        table = explicit_belief_table(explicit)
+        assert table.num_rows == 2
+        assert all(row[0] == 1 for row in table)
+
+    def test_explicit_belief_table_requires_2d(self):
+        with pytest.raises(ValidationError):
+            explicit_belief_table(np.zeros(3))
+
+    def test_coupling_table_contents(self):
+        coupling = homophily_matrix(epsilon=0.5)
+        table = coupling_table(coupling)
+        values = {(row[0], row[1]): row[2] for row in table}
+        assert values[(0, 0)] == pytest.approx(0.15)
+        assert values[(0, 1)] == pytest.approx(-0.15)
+
+    def test_degree_table_uses_squared_weights(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (0, 2, 3.0)])
+        degrees = {row[0]: row[1] for row in degree_table(adjacency_table(graph))}
+        assert degrees[0] == pytest.approx(13.0)
+        assert degrees[1] == pytest.approx(4.0)
+
+    def test_coupling_squared_matches_matrix_square(self):
+        coupling = fraud_matrix(epsilon=0.3)
+        squared_relation = coupling_squared_table(coupling_table(coupling))
+        produced = np.zeros((3, 3))
+        for c1, c2, h in squared_relation.rows:
+            produced[c1, c2] = h
+        assert np.allclose(produced, coupling.residual_squared, atol=1e-12)
+        assert squared_relation.columns == ("c1", "c2", "h")
+
+
+class TestConversions:
+    def test_beliefs_roundtrip(self):
+        explicit = np.zeros((4, 3))
+        explicit[0] = [0.1, -0.05, -0.05]
+        explicit[2] = [-0.2, 0.1, 0.1]
+        table = explicit_belief_table(explicit)
+        assert np.allclose(beliefs_to_matrix(table, 4, 3), explicit)
+
+    def test_geodesic_to_vector_defaults_to_minus_one(self):
+        table = Table("G", ("v", "g"), rows=[(0, 0), (2, 3)])
+        assert geodesic_to_vector(table, 4).tolist() == [0, -1, 3, -1]
+
+
+class TestTopBeliefQuery:
+    def test_unique_maxima(self):
+        table = Table("B", ("v", "c", "b"),
+                      rows=[(0, 0, 0.5), (0, 1, -0.5), (1, 0, -0.1), (1, 1, 0.4)])
+        assert top_belief_query(table) == {0: {0}, 1: {1}}
+
+    def test_ties_returned_together(self):
+        table = Table("B", ("v", "c", "b"),
+                      rows=[(0, 0, 0.5), (0, 1, 0.5), (0, 2, -1.0)])
+        assert top_belief_query(table) == {0: {0, 1}}
+
+    def test_missing_nodes_absent(self):
+        table = Table("B", ("v", "c", "b"), rows=[(3, 0, 0.1), (3, 1, -0.1)])
+        result = top_belief_query(table)
+        assert set(result) == {3}

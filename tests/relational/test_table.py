@@ -1,0 +1,89 @@
+"""Unit tests for the relational Table storage layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.relational import Table
+
+
+class TestTableBasics:
+    def test_construction_and_len(self):
+        table = Table("T", ("a", "b"), rows=[(1, 2), (3, 4)])
+        assert len(table) == 2
+        assert table.num_rows == 2
+        assert table.columns == ("a", "b")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("T", ())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("T", ("a", "a"))
+
+    def test_column_index_and_values(self):
+        table = Table("T", ("a", "b"), rows=[(1, "x"), (2, "y")])
+        assert table.column_index("b") == 1
+        assert table.column_values("a") == [1, 2]
+
+    def test_unknown_column_raises(self):
+        table = Table("T", ("a",))
+        with pytest.raises(SchemaError):
+            table.column_index("missing")
+
+    def test_iteration_and_rows_copy(self):
+        table = Table("T", ("a",), rows=[(1,), (2,)])
+        assert list(table) == [(1,), (2,)]
+        rows = table.rows
+        rows.append((3,))
+        assert len(table) == 2  # external mutation does not affect the table
+
+    def test_to_dicts(self):
+        table = Table("T", ("a", "b"), rows=[(1, 2)])
+        assert table.to_dicts() == [{"a": 1, "b": 2}]
+
+    def test_repr(self):
+        assert "Table" in repr(Table("T", ("a",)))
+
+
+class TestTableMutation:
+    def test_insert_rows_arity_checked(self):
+        table = Table("T", ("a", "b"))
+        with pytest.raises(ValidationError):
+            table.insert_rows([(1,)])
+
+    def test_insert_dicts(self):
+        table = Table("T", ("a", "b"))
+        table.insert_dicts([{"a": 1, "b": 2}, {"b": 4, "a": 3}])
+        assert table.rows == [(1, 2), (3, 4)]
+
+    def test_upsert_replaces_existing_key(self):
+        table = Table("B", ("v", "c", "b"), rows=[(0, 0, 1.0), (0, 1, 2.0)])
+        table.upsert([(0, 0, 9.0), (1, 0, 5.0)], key_columns=("v", "c"))
+        assert sorted(table.rows) == [(0, 0, 9.0), (0, 1, 2.0), (1, 0, 5.0)]
+
+    def test_upsert_arity_checked(self):
+        table = Table("T", ("a", "b"))
+        with pytest.raises(ValidationError):
+            table.upsert([(1,)], key_columns=("a",))
+
+    def test_delete_where(self):
+        table = Table("T", ("a",), rows=[(1,), (2,), (3,)])
+        deleted = table.delete_where(lambda row: row["a"] > 1)
+        assert deleted == 2
+        assert table.rows == [(1,)]
+
+    def test_clear(self):
+        table = Table("T", ("a",), rows=[(1,)])
+        table.clear()
+        assert len(table) == 0
+        assert table.columns == ("a",)
+
+    def test_copy_is_independent(self):
+        table = Table("T", ("a",), rows=[(1,)])
+        duplicate = table.copy("T2")
+        duplicate.insert_rows([(2,)])
+        assert len(table) == 1
+        assert duplicate.name == "T2"

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface (label / analyze / experiment)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BeliefMatrix
+from repro.cli import build_parser, main
+from repro.graphs import Graph, write_belief_table, write_edge_list
+
+
+@pytest.fixture
+def cli_files(tmp_path):
+    """A small chain graph, explicit beliefs and a coupling file on disk."""
+    graph = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    explicit = BeliefMatrix.from_labels({0: 0, 5: 1}, num_nodes=6, num_classes=2,
+                                        magnitude=0.1)
+    graph_path = tmp_path / "graph.tsv"
+    beliefs_path = tmp_path / "beliefs.tsv"
+    coupling_path = tmp_path / "coupling.json"
+    write_edge_list(graph, graph_path)
+    write_belief_table(explicit.residuals, beliefs_path)
+    coupling_path.write_text(json.dumps({
+        "stochastic": [[0.8, 0.2], [0.2, 0.8]],
+        "classes": ["left", "right"],
+    }))
+    return graph_path, beliefs_path, coupling_path, tmp_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_label_defaults(self, cli_files):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        args = build_parser().parse_args([
+            "label", "--graph", str(graph_path), "--beliefs", str(beliefs_path),
+            "--coupling", str(coupling_path)])
+        assert args.method == "linbp"
+        assert args.epsilon == 1.0
+
+
+class TestLabelCommand:
+    @pytest.mark.parametrize("method", ["linbp", "linbp*", "sbp", "bp"])
+    def test_methods_run_and_print_labels(self, cli_files, capsys, method):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs", str(beliefs_path),
+            "--coupling", str(coupling_path), "--method", method,
+            "--epsilon", "0.3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "left" in captured.out and "right" in captured.out
+
+    def test_output_file_written(self, cli_files):
+        graph_path, beliefs_path, coupling_path, tmp_path = cli_files
+        output = tmp_path / "final.tsv"
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs", str(beliefs_path),
+            "--coupling", str(coupling_path), "--epsilon", "0.3",
+            "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+        lines = [line for line in output.read_text().splitlines() if line.strip()]
+        assert len(lines) == 6 * 2  # every node, every class
+
+    def test_limit_truncates_output(self, cli_files, capsys):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        main(["label", "--graph", str(graph_path), "--beliefs", str(beliefs_path),
+              "--coupling", str(coupling_path), "--epsilon", "0.3", "--limit", "2"])
+        captured = capsys.readouterr()
+        assert "more nodes" in captured.out
+
+    def test_missing_file_reports_error(self, cli_files, capsys):
+        _, beliefs_path, coupling_path, tmp_path = cli_files
+        exit_code = main([
+            "label", "--graph", str(tmp_path / "nope.tsv"),
+            "--beliefs", str(beliefs_path), "--coupling", str(coupling_path)])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_coupling_file_reports_error(self, cli_files, capsys):
+        graph_path, beliefs_path, _, tmp_path = cli_files
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"something": []}))
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs", str(beliefs_path),
+            "--coupling", str(bad)])
+        assert exit_code == 2
+
+
+class TestAnalyzeCommand:
+    def test_prints_thresholds(self, cli_files, capsys):
+        graph_path, _, coupling_path, _ = cli_files
+        exit_code = main(["analyze", "--graph", str(graph_path),
+                          "--coupling", str(coupling_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "rho(A):" in captured.out
+        assert "exact epsilon threshold LinBP:" in captured.out
+
+    def test_mooij_kappen_option(self, cli_files, capsys):
+        graph_path, _, coupling_path, _ = cli_files
+        exit_code = main(["analyze", "--graph", str(graph_path),
+                          "--coupling", str(coupling_path), "--mooij-kappen"])
+        assert exit_code == 0
+        assert "Mooij-Kappen" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_fig6a_experiment_runs(self, capsys, tmp_path):
+        output = tmp_path / "fig6a.txt"
+        exit_code = main(["experiment", "fig6a", "--output", str(output)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Fig. 6a" in captured.out
+        assert output.exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "does-not-exist"])
