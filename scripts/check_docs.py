@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Doc health checks: run the README quickstart and verify intra-repo links.
+
+Two checks, both also enforced by the test suite (``tests/test_docs.py``):
+
+1. **Quickstart doctest** — every fenced ````python`` block in ``README.md``
+   is executed, in order, in one shared namespace (later blocks may build on
+   earlier ones, exactly as a reader would type them).  Any exception fails
+   the check, so the README can never drift from the actual API.
+2. **Link check** — every relative Markdown link in ``README.md`` and
+   ``docs/*.md`` must point at an existing file or directory inside the
+   repository (anchors are stripped; ``http(s)``/``mailto`` links are
+   ignored).
+
+Run with::
+
+    PYTHONPATH=src python scripts/check_docs.py [repo_root]
+
+Exit status 0 when everything passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+FENCE_PATTERN = re.compile(r"```python\n(.*?)```", re.DOTALL)
+# [text](target) — excluding images is unnecessary; image targets must exist too.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def python_blocks(markdown_path: Path) -> List[str]:
+    """All fenced ```python code blocks of a Markdown file, in order."""
+    return FENCE_PATTERN.findall(markdown_path.read_text(encoding="utf-8"))
+
+
+def run_quickstart(root: Path) -> List[str]:
+    """Execute the README's python blocks cumulatively; return error messages."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return [f"{readme} is missing"]
+    blocks = python_blocks(readme)
+    if not blocks:
+        return [f"{readme} contains no ```python quickstart block"]
+    namespace: dict = {"__name__": "__readme__"}
+    errors = []
+    for index, block in enumerate(blocks, start=1):
+        try:
+            exec(compile(block, f"README.md:block{index}", "exec"), namespace)
+        except Exception as exc:  # noqa: BLE001 - report any failure
+            errors.append(f"README.md python block #{index} failed: "
+                          f"{type(exc).__name__}: {exc}")
+            break
+    return errors
+
+
+def doc_files(root: Path) -> List[Path]:
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """All (file, target) pairs whose relative link target does not exist."""
+    broken = []
+    for markdown_path in doc_files(root):
+        text = markdown_path.read_text(encoding="utf-8")
+        # Don't treat link-looking strings inside code fences as links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in LINK_PATTERN.findall(text):
+            if target.startswith(EXTERNAL_SCHEMES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (markdown_path.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append((markdown_path.relative_to(root), target))
+    return broken
+
+
+def main(argv: List[str] | None = None) -> int:
+    arguments = list(sys.argv[1:]) if argv is None else list(argv)
+    root = Path(arguments[0]).resolve() if arguments else repo_root()
+    failures = 0
+    errors = run_quickstart(root)
+    if errors:
+        failures += len(errors)
+        for error in errors:
+            print(f"FAIL {error}")
+    else:
+        print("ok   README quickstart blocks run cleanly")
+    dangling = broken_links(root)
+    if dangling:
+        failures += len(dangling)
+        for markdown_path, target in dangling:
+            print(f"FAIL broken link in {markdown_path}: ({target})")
+    else:
+        print("ok   all intra-repo doc links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

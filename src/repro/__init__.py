@@ -10,6 +10,9 @@ The package implements, from scratch and on top of ``numpy``/``scipy`` only:
 * **SBP** — Single-Pass BP, the ``ε_H → 0`` limit of LinBP, with incremental
   maintenance under new labels and new edges (:mod:`repro.core.sbp`);
 * the binary-class special case (FABP, :mod:`repro.core.fabp`);
+* a shared propagation engine with cached per-graph plans and a batched,
+  buffer-reuse iteration kernel that propagates many queries at once
+  (:mod:`repro.engine`);
 * an in-memory relational engine plus the paper's SQL-style implementations
   of LinBP and SBP (:mod:`repro.relational`);
 * graph substrates, coupling-matrix handling, datasets, quality metrics, and
@@ -45,11 +48,13 @@ from repro.core import (
     PropagationResult,
     belief_propagation,
     fabp,
+    fabp_batch,
     linbp,
     linbp_closed_form,
     linbp_star,
     sbp,
 )
+from repro.engine import PropagationPlan, get_plan, run_batch
 from repro.exceptions import (
     ConvergenceError,
     DatasetError,
@@ -80,10 +85,14 @@ __all__ = [
     "PropagationResult",
     "belief_propagation",
     "fabp",
+    "fabp_batch",
     "linbp",
     "linbp_closed_form",
     "linbp_star",
     "sbp",
+    "PropagationPlan",
+    "get_plan",
+    "run_batch",
     "ConvergenceError",
     "DatasetError",
     "NotConvergentParametersError",

@@ -16,7 +16,7 @@ from repro.core.convergence import (
     sufficient_norm_bound_linbp_star,
 )
 from repro.core.estimation import CouplingEstimate, estimate_coupling
-from repro.core.fabp import binary_coupling, fabp, fabp_closed_form
+from repro.core.fabp import binary_coupling, fabp, fabp_batch, fabp_closed_form
 from repro.core.incremental import IncrementalLinBP
 from repro.core.linbp import LinBP, linbp, linbp_closed_form, linbp_star
 from repro.core.relational_learner import weighted_vote_relational_neighbor, wvrn
@@ -43,6 +43,7 @@ __all__ = [
     "IncrementalLinBP",
     "binary_coupling",
     "fabp",
+    "fabp_batch",
     "fabp_closed_form",
     "weighted_vote_relational_neighbor",
     "wvrn",

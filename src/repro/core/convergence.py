@@ -17,7 +17,10 @@ Appendix G compares against the Mooij–Kappen sufficient bound for *standard*
 BP, ``c(H) · ρ(A_edge) < 1``, where ``A_edge`` is the directed-edge adjacency
 ("non-backtracking"-style) matrix and ``c(H)`` a potential-dependent constant.
 This module implements all of these so experiment E12 can reproduce the
-comparison.
+comparison.  The exact criteria delegate to the engine's plan cache
+(:mod:`repro.engine.plan`), so the — potentially expensive — Lemma 8
+spectral radius is computed at most once per (graph, coupling) pair and
+shared with the solvers.
 """
 
 from __future__ import annotations
@@ -78,16 +81,19 @@ class ConvergenceReport:
 # ---------------------------------------------------------------------- #
 # exact criteria (Lemma 8)
 # ---------------------------------------------------------------------- #
+# Both criteria are answered by the engine's cached propagation plan: the
+# Lemma 8 spectral radius is computed once per (graph, coupling, echo) and
+# then shared with every solver instance that uses the same configuration.
 def exact_convergence_linbp(graph: Graph, coupling: CouplingMatrix) -> bool:
     """Exact (necessary and sufficient) criterion for LinBP (Eq. 16)."""
-    radius = linalg.kron_spectral_radius(coupling.residual, graph.adjacency,
-                                         degree=graph.degree_matrix())
-    return radius < 1.0
+    from repro.engine.plan import get_plan
+    return get_plan(graph, coupling, echo_cancellation=True).is_exactly_convergent()
 
 
 def exact_convergence_linbp_star(graph: Graph, coupling: CouplingMatrix) -> bool:
     """Exact criterion for LinBP* (Eq. 17): ``ρ(Ĥ)·ρ(A) < 1``."""
-    return coupling.spectral_radius() * graph.spectral_radius() < 1.0
+    from repro.engine.plan import get_plan
+    return get_plan(graph, coupling, echo_cancellation=False).is_exactly_convergent()
 
 
 # ---------------------------------------------------------------------- #

@@ -20,19 +20,26 @@ Both systems can be solved
   via a sparse linear solve over the ``nk``-dimensional vectorised system.
 
 This module implements both, plus the convergence bookkeeping of Section 5.1.
+Since the engine refactor, the iterative path is a thin single-query wrapper
+over the shared batched engine (:mod:`repro.engine`): a cached
+:class:`~repro.engine.plan.PropagationPlan` holds the per-graph artifacts and
+:func:`repro.engine.batch.run_batch` performs the buffer-reuse iteration, so
+repeated queries against the same graph pay the setup cost once and many
+concurrent queries can be propagated in one batch.
 """
 
 from __future__ import annotations
 
-from typing import Literal, Optional
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.coupling.matrices import CouplingMatrix
-from repro.core import convergence
 from repro.core.results import PropagationResult
+from repro.engine import batch as engine_batch
+from repro.engine import plan as engine_plan
 from repro.exceptions import NotConvergentParametersError, ValidationError
 from repro.graphs.graph import Graph
 
@@ -41,6 +48,12 @@ __all__ = ["LinBP", "linbp", "linbp_star", "linbp_closed_form"]
 
 class LinBP:
     """LinBP / LinBP* runner bound to a graph and a coupling matrix.
+
+    The constructor obtains the cached :class:`~repro.engine.plan
+    .PropagationPlan` for ``(graph, coupling, echo_cancellation)``, so
+    building many runners against the same configuration reuses one set of
+    precomputed artifacts (CSR adjacency, squared degrees, residual
+    coupling, Lemma 8 radius).
 
     Parameters
     ----------
@@ -73,23 +86,29 @@ class LinBP:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.require_convergence = require_convergence
-        self._adjacency = graph.adjacency
-        self._degrees = graph.degree_vector() if echo_cancellation else None
-        self._residual = coupling.residual
-        self._residual_squared = coupling.residual_squared
+        self.plan = engine_plan.get_plan(graph, coupling,
+                                         echo_cancellation=echo_cancellation)
+        self._adjacency = self.plan.adjacency
+        self._degrees = self.plan.degrees
+        self._residual = self.plan.residual
+        self._residual_squared = self.plan.residual_squared
 
     @property
     def method_name(self) -> str:
         """``"LinBP"`` or ``"LinBP*"`` depending on echo cancellation."""
-        return "LinBP" if self.echo_cancellation else "LinBP*"
+        return self.plan.method_name
 
     # ------------------------------------------------------------------ #
-    # iterative solution (Eq. 6 / Eq. 7)
+    # iterative solution (Eq. 6 / Eq. 7) — delegated to the engine
     # ------------------------------------------------------------------ #
     def run(self, explicit_residuals: np.ndarray,
             initial_beliefs: Optional[np.ndarray] = None,
             num_iterations: Optional[int] = None) -> PropagationResult:
         """Iteratively solve the LinBP update equations.
+
+        This is the single-query form of :func:`repro.engine.batch
+        .run_batch`; use the engine directly to propagate many explicit
+        matrices over the same graph at once.
 
         Parameters
         ----------
@@ -103,45 +122,27 @@ class LinBP:
             When given, run exactly this many iterations without early
             stopping — used by the timing experiments that fix 5 iterations.
         """
-        explicit = self._check_explicit(explicit_residuals)
-        if self.require_convergence and not self._exactly_convergent():
-            raise NotConvergentParametersError(
-                f"{self.method_name} does not converge for this coupling scale "
-                f"(Lemma 8); reduce epsilon")
-        beliefs = np.zeros_like(explicit) if initial_beliefs is None \
-            else np.asarray(initial_beliefs, dtype=float).copy()
-        if beliefs.shape != explicit.shape:
-            raise ValidationError("initial beliefs must have the same shape as Ê")
-        fixed_iterations = num_iterations is not None
-        budget = num_iterations if fixed_iterations else self.max_iterations
-        history = []
-        converged = False
-        iterations_done = 0
-        for iteration in range(1, budget + 1):
-            iterations_done = iteration
-            updated = self._apply_update(explicit, beliefs)
-            change = float(np.max(np.abs(updated - beliefs))) if beliefs.size else 0.0
-            history.append(change)
-            beliefs = updated
-            if not fixed_iterations and change < self.tolerance:
-                converged = True
-                break
-        if fixed_iterations:
-            # With a fixed budget the caller did not ask for a convergence
-            # check; report convergence relative to the tolerance anyway.
-            converged = bool(history and history[-1] < self.tolerance)
-        return PropagationResult(
-            beliefs=beliefs,
-            method=self.method_name,
-            iterations=iterations_done,
-            converged=converged,
-            residual_history=history,
-            extra={"echo_cancellation": self.echo_cancellation,
-                   "epsilon": self.coupling.epsilon},
+        results = engine_batch.run_batch(
+            self.plan, [explicit_residuals],
+            initial_beliefs=[initial_beliefs],
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            num_iterations=num_iterations,
+            require_convergence=self.require_convergence,
         )
+        result = results[0]
+        # Single-query runs keep the historical metadata shape.
+        result.extra = {"echo_cancellation": self.echo_cancellation,
+                        "epsilon": self.coupling.epsilon}
+        return result
 
     def _apply_update(self, explicit: np.ndarray, beliefs: np.ndarray) -> np.ndarray:
-        """One application of Eq. 6 (or Eq. 7 without echo cancellation)."""
+        """One application of Eq. 6 (or Eq. 7 without echo cancellation).
+
+        Retained for experimentation and tests; the hot path now lives in
+        :meth:`repro.engine.batch.BatchWorkspace.step`, which computes the
+        same update over preallocated buffers.
+        """
         propagated = self._adjacency @ beliefs @ self._residual
         if self.echo_cancellation:
             echo = (self._degrees[:, None] * beliefs) @ self._residual_squared
@@ -165,7 +166,7 @@ class LinBP:
         system = identity - sp.kron(sp.csr_matrix(self._residual),
                                     self._adjacency, format="csr")
         if self.echo_cancellation:
-            degree = sp.diags(self.graph.degree_vector(), format="csr")
+            degree = sp.diags(self._degrees, format="csr")
             system = system + sp.kron(sp.csr_matrix(self._residual_squared),
                                       degree, format="csr")
         right_hand_side = explicit.flatten(order="F")
@@ -186,29 +187,17 @@ class LinBP:
     # convergence helpers
     # ------------------------------------------------------------------ #
     def _exactly_convergent(self) -> bool:
-        if self.echo_cancellation:
-            return convergence.exact_convergence_linbp(self.graph, self.coupling)
-        return convergence.exact_convergence_linbp_star(self.graph, self.coupling)
+        return self.plan.is_exactly_convergent()
 
     def spectral_radius(self) -> float:
-        """Spectral radius of the update matrix (the Lemma 8 quantity)."""
-        from repro.graphs import linalg
-        degree = self.graph.degree_matrix() if self.echo_cancellation else None
-        return linalg.kron_spectral_radius(self._residual, self._adjacency,
-                                           degree=degree)
+        """Spectral radius of the update matrix (the Lemma 8 quantity).
+
+        Cached on the underlying plan, so repeated checks are free.
+        """
+        return self.plan.update_spectral_radius()
 
     def _check_explicit(self, explicit_residuals: np.ndarray) -> np.ndarray:
-        explicit = np.asarray(explicit_residuals, dtype=float)
-        if explicit.ndim != 2:
-            raise ValidationError("explicit beliefs must be a 2-D matrix")
-        if explicit.shape[0] != self.graph.num_nodes:
-            raise ValidationError(
-                f"expected {self.graph.num_nodes} rows, got {explicit.shape[0]}")
-        if explicit.shape[1] != self.coupling.num_classes:
-            raise ValidationError(
-                f"expected {self.coupling.num_classes} columns, "
-                f"got {explicit.shape[1]}")
-        return explicit
+        return self.plan.check_explicit(explicit_residuals)
 
 
 # ---------------------------------------------------------------------- #
@@ -239,6 +228,11 @@ def linbp_star(graph: Graph, coupling: CouplingMatrix,
 def linbp_closed_form(graph: Graph, coupling: CouplingMatrix,
                       explicit_residuals: np.ndarray,
                       echo_cancellation: bool = True) -> PropagationResult:
-    """Solve LinBP (or LinBP*) in closed form via the Kronecker system."""
+    """Solve LinBP (or LinBP*) in closed form via the Kronecker system.
+
+    ``echo_cancellation`` defaults to True, i.e. the full LinBP system
+    ``(I − Ĥ⊗A + Ĥ²⊗D)`` of Proposition 7 is solved; pass False to drop the
+    ``Ĥ²⊗D`` echo term and obtain the closed form of LinBP* instead.
+    """
     runner = LinBP(graph, coupling, echo_cancellation=echo_cancellation)
     return runner.solve_closed_form(explicit_residuals)

@@ -1,0 +1,40 @@
+"""Shared propagation engine: cached plans + batched buffer-reuse kernels.
+
+This layer sits between the solver front ends (:mod:`repro.core.linbp`,
+:mod:`repro.core.fabp`, the experiment drivers) and the raw linear
+algebra.  It contributes two things the one-query-at-a-time API could
+not:
+
+* :mod:`repro.engine.plan` — :class:`PropagationPlan`, a cached bundle of
+  per-``(graph, coupling, echo_cancellation)`` artifacts (canonical CSR
+  adjacency, squared-degree vector, scaled residual coupling and its
+  square, lazily the Lemma 8 spectral radius), plus a cached sparse LU
+  factorisation for the binary FaBP closed form;
+* :mod:`repro.engine.batch` — :func:`run_batch`, which propagates many
+  explicit-belief matrices concurrently as one ``n x (q·k)`` block over
+  preallocated ping-pong buffers (:class:`BatchWorkspace`), using the
+  in-place kernels of :mod:`repro.engine.kernels`.
+
+See ``docs/performance.md`` for the API guide and caching semantics.
+"""
+
+from repro.engine.batch import BatchWorkspace, run_batch
+from repro.engine.kernels import HAVE_INPLACE_SPMM
+from repro.engine.plan import (
+    PropagationPlan,
+    clear_plan_cache,
+    get_binary_solver,
+    get_plan,
+    plan_cache_info,
+)
+
+__all__ = [
+    "BatchWorkspace",
+    "run_batch",
+    "HAVE_INPLACE_SPMM",
+    "PropagationPlan",
+    "clear_plan_cache",
+    "get_binary_solver",
+    "get_plan",
+    "plan_cache_info",
+]

@@ -1,0 +1,106 @@
+"""Buffer-reuse numerical kernels for the propagation engine.
+
+The LinBP update (Eq. 6) is three products — one sparse-times-dense
+(``A @ B``), two small dense GEMMs (``· @ Ĥ`` and ``· @ Ĥ²``) — plus
+element-wise combines.  Run naively, every iteration allocates a fresh
+``n x k`` array per product; at high query rates the allocator, not the
+FPU, becomes the bottleneck.  The kernels here write every product into a
+caller-provided output buffer so a whole propagation runs on a fixed set
+of preallocated arrays (see :class:`repro.engine.batch.BatchWorkspace`).
+
+The sparse product uses ``scipy.sparse._sparsetools.csr_matvecs`` (the
+C++ routine behind ``csr_matrix.__matmul__``) directly, which accumulates
+``Y += A @ X`` into an existing row-major buffer.  Because the symbol is
+private, its availability is probed once at import time and the kernels
+transparently fall back to the allocating ``A @ X`` when it is missing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["HAVE_INPLACE_SPMM", "spmm", "block_matmul", "scale_rows",
+           "max_abs_change_per_query"]
+
+try:  # pragma: no cover - import probing
+    from scipy.sparse import _sparsetools as _tools
+    _csr_matvecs = getattr(_tools, "csr_matvecs", None)
+except ImportError:  # pragma: no cover - very old/new scipy layouts
+    _csr_matvecs = None
+
+#: True when the zero-allocation CSR SpMM path is available.
+HAVE_INPLACE_SPMM = _csr_matvecs is not None
+
+
+def spmm(csr: sp.csr_matrix, dense: np.ndarray, out: np.ndarray,
+         accumulate: bool = False) -> np.ndarray:
+    """``out <- csr @ dense`` (or ``out += ...``) into the preallocated buffer.
+
+    ``dense`` and ``out`` must be C-contiguous 2-D arrays of matching dtype.
+    With ``accumulate=True`` the product is added onto the existing contents
+    of ``out`` — the engine uses this to fuse the ``Ê +`` term of the LinBP
+    update into the sparse product for free (the underlying C routine is
+    accumulating by nature; the non-accumulating form just zeroes first).
+    Returns ``out`` for chaining.
+    """
+    if HAVE_INPLACE_SPMM and out.flags.c_contiguous and dense.flags.c_contiguous:
+        if not accumulate:
+            out[...] = 0.0
+        _csr_matvecs(csr.shape[0], csr.shape[1], dense.shape[1],
+                     csr.indptr, csr.indices, csr.data,
+                     dense.reshape(-1), out.reshape(-1))
+        return out
+    if accumulate:
+        out += csr @ dense
+    else:
+        out[...] = csr @ dense
+    return out
+
+
+def block_matmul(block: np.ndarray, small: np.ndarray, out: np.ndarray,
+                 num_classes: int) -> np.ndarray:
+    """Per-query right-multiplication ``out <- block ·_k small``.
+
+    ``block`` and ``out`` are ``n x (q·k)`` matrices whose columns are ``q``
+    consecutive ``k``-wide query blocks; ``small`` is the shared ``k x k``
+    coupling factor.  Because the blocks are contiguous, the batched product
+    is a single GEMM on the ``(n·q) x k`` reshaped view — no per-query loop,
+    no allocation.
+    """
+    n, qk = block.shape
+    tall = block.reshape(n * (qk // num_classes), num_classes)
+    np.matmul(tall, small, out=out.reshape(tall.shape))
+    return out
+
+
+def scale_rows(factors: np.ndarray, block: np.ndarray,
+               out: np.ndarray) -> np.ndarray:
+    """``out <- diag(factors) @ block`` (row scaling) without allocation."""
+    np.multiply(factors[:, None], block, out=out)
+    return out
+
+
+def max_abs_change_per_query(new: np.ndarray, old: np.ndarray,
+                             scratch: np.ndarray,
+                             num_classes: int) -> np.ndarray:
+    """Maximum absolute difference per ``k``-wide query block.
+
+    Computes ``max |new - old|`` separately for each of the ``q`` stacked
+    queries, using ``scratch`` (same shape) as the only working memory.
+    The reduction runs over axis 0 first (a fast contiguous column
+    reduction) and only then folds the ``k`` columns of each query.
+    Returns a fresh length-``q`` vector (tiny; the only allocation in the
+    iteration loop).
+    """
+    n, qk = scratch.shape
+    num_queries = qk // num_classes
+    if n == 0:
+        return np.zeros(num_queries)
+    np.subtract(new, old, out=scratch)
+    np.abs(scratch, out=scratch)
+    if num_queries == 1:
+        # Single query: one flat (contiguous) reduction is fastest.
+        return np.array([scratch.max()])
+    column_max = scratch.max(axis=0)
+    return column_max.reshape(num_queries, num_classes).max(axis=1)

@@ -1,0 +1,275 @@
+"""Cached per-graph propagation plans.
+
+Every iterative solver needs the same per-``(graph, coupling)`` artifacts:
+the CSR adjacency matrix in canonical float64 layout, the squared-weight
+degree vector for the echo-cancellation term, the scaled residual coupling
+``Ĥ`` and its square, and — when convergence guarantees are requested —
+the Lemma 8 spectral radius of the update matrix.  Before the engine
+existed, each of :func:`repro.core.linbp.linbp`, ``linbp_star`` and the
+experiment paths recomputed these per call.
+
+:class:`PropagationPlan` bundles the artifacts; :func:`get_plan` memoises
+plans in a small process-wide LRU cache keyed by the *identity* of the
+graph plus the *value* of the coupling (its residual entries and scale
+``ε_H``) and the echo-cancellation flag.  Re-scaling the coupling — the
+most common parameter change, e.g. an ``ε_H`` sweep — therefore yields a
+fresh plan automatically; mutirequest traffic against the same graph and
+coupling shares one plan and pays the precomputation once.
+
+The binary (k = 2) closed forms of :mod:`repro.core.fabp` get the same
+treatment: :func:`get_binary_solver` caches the sparse LU factorisation of
+``I − c_a A + c_d D``, so repeated FaBP queries against one graph reduce
+to two triangular solves each (and batches of right-hand sides to one
+multi-RHS solve).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.coupling.matrices import CouplingMatrix
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+
+__all__ = ["PropagationPlan", "get_plan", "get_binary_solver",
+           "clear_plan_cache", "plan_cache_info"]
+
+#: Maximum number of cached propagation plans / binary factorisations.
+PLAN_CACHE_SIZE = 32
+
+
+class PropagationPlan:
+    """Precomputed artifacts for propagating beliefs over one graph.
+
+    Instances are created by :func:`get_plan` (which caches them) or
+    directly for one-off use.  A plan is immutable once built; all fields
+    derived from the coupling use the *scaled* residual ``Ĥ = ε_H·Ĥo``.
+
+    Attributes
+    ----------
+    graph, coupling, echo_cancellation:
+        The defining triple; two plans coincide iff these match (coupling
+        compared by value, graph by identity).  ``graph`` is held only
+        weakly — the plan copies or shares every artifact it needs, so a
+        cached plan never pins a dead graph in memory.
+    adjacency:
+        The graph's adjacency as canonical CSR float64 (sorted indices,
+        no duplicates) — the layout the SpMM kernel requires.
+    degrees:
+        Squared-weight degree vector ``d`` (Section 5.2), or ``None`` for
+        LinBP* where the echo term vanishes.
+    residual, residual_squared:
+        C-contiguous ``k x k`` arrays ``Ĥ`` and ``Ĥ²``.
+    """
+
+    def __init__(self, graph: Graph, coupling: CouplingMatrix,
+                 echo_cancellation: bool = True):
+        # Only a weak reference to the graph wrapper is kept: the plan owns
+        # (copies or shares) every artifact it needs, so a cached plan does
+        # not pin large graphs in memory beyond their natural lifetime.
+        self._graph_ref = weakref.ref(graph)
+        self.coupling = coupling
+        self.echo_cancellation = bool(echo_cancellation)
+        adjacency = graph.adjacency
+        if adjacency.dtype != np.float64:
+            adjacency = adjacency.astype(np.float64)
+        if not adjacency.has_canonical_format:
+            adjacency = adjacency.copy()
+            adjacency.sum_duplicates()
+        self.adjacency: sp.csr_matrix = adjacency
+        self.degrees: Optional[np.ndarray] = \
+            graph.degree_vector() if echo_cancellation else None
+        self.residual: np.ndarray = np.ascontiguousarray(coupling.residual)
+        self.residual_squared: np.ndarray = \
+            np.ascontiguousarray(coupling.residual_squared)
+        self._update_spectral_radius: Optional[float] = None
+
+    @property
+    def graph(self) -> Optional[Graph]:
+        """The graph this plan was built for (None once garbage collected)."""
+        return self._graph_ref()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self.adjacency.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes ``k``."""
+        return self.residual.shape[0]
+
+    @property
+    def method_name(self) -> str:
+        """``"LinBP"`` or ``"LinBP*"`` depending on echo cancellation."""
+        return "LinBP" if self.echo_cancellation else "LinBP*"
+
+    # ------------------------------------------------------------------ #
+    # convergence bookkeeping (computed lazily, cached on the plan)
+    # ------------------------------------------------------------------ #
+    def update_spectral_radius(self) -> float:
+        """Spectral radius of the update matrix — the exact Lemma 8 quantity.
+
+        ``ρ(Ĥ⊗A − Ĥ²⊗D)`` for LinBP, ``ρ(Ĥ)·ρ(A) = ρ(Ĥ⊗A)`` for LinBP*.
+        Computed on first use and cached for the lifetime of the plan, so
+        per-query convergence checks against a hot plan are free.
+        """
+        if self._update_spectral_radius is None:
+            from repro.graphs import linalg
+            if self.echo_cancellation:
+                degree = sp.diags(self.degrees, format="csr")
+                self._update_spectral_radius = linalg.kron_spectral_radius(
+                    self.residual, self.adjacency, degree=degree)
+            else:
+                self._update_spectral_radius = (
+                    self.coupling.spectral_radius()
+                    * linalg.spectral_radius(self.adjacency))
+        return self._update_spectral_radius
+
+    def is_exactly_convergent(self) -> bool:
+        """Exact Lemma 8 criterion: the iteration converges iff radius < 1."""
+        return self.update_spectral_radius() < 1.0
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def check_explicit(self, explicit_residuals: np.ndarray) -> np.ndarray:
+        """Validate one ``n x k`` explicit-belief matrix against the plan."""
+        explicit = np.asarray(explicit_residuals, dtype=np.float64)
+        if explicit.ndim != 2:
+            raise ValidationError("explicit beliefs must be a 2-D matrix")
+        if explicit.shape[0] != self.num_nodes:
+            raise ValidationError(
+                f"expected {self.num_nodes} rows, got {explicit.shape[0]}")
+        if explicit.shape[1] != self.num_classes:
+            raise ValidationError(
+                f"expected {self.num_classes} columns, got {explicit.shape[1]}")
+        return explicit
+
+
+# ---------------------------------------------------------------------- #
+# the plan cache
+# ---------------------------------------------------------------------- #
+# Keys hold id(graph); entries also hold a weakref to the graph to verify
+# that the id was not recycled by a different object.  Neither the entry
+# nor the plan holds a strong reference to the graph wrapper, so entries
+# are evicted as soon as their graph is garbage collected (the bounded
+# LRU additionally caps how many plans survive for long-lived graphs).
+_CacheKey = Tuple[int, bool, float, bytes]
+_plan_cache: "OrderedDict[_CacheKey, Tuple[weakref.ref, PropagationPlan]]" = \
+    OrderedDict()
+_plan_cache_stats = {"hits": 0, "misses": 0}
+
+
+def _coupling_key(coupling: CouplingMatrix) -> Tuple[float, bytes]:
+    residual = np.ascontiguousarray(coupling.unscaled_residual)
+    return float(coupling.epsilon), residual.tobytes()
+
+
+def get_plan(graph: Graph, coupling: CouplingMatrix,
+             echo_cancellation: bool = True) -> PropagationPlan:
+    """Return the (cached) propagation plan for a solver configuration.
+
+    The cache key is ``(graph identity, echo flag, ε_H, Ĥo entries)``.
+    Changing any component — in particular re-scaling the coupling with
+    :meth:`CouplingMatrix.scaled` — misses the cache and builds a fresh
+    plan; the stale plan ages out of the bounded LRU (at most
+    ``PLAN_CACHE_SIZE`` plans are retained, least recently used first).
+    """
+    key: _CacheKey = (id(graph), bool(echo_cancellation)) + _coupling_key(coupling)
+    entry = _plan_cache.get(key)
+    if entry is not None:
+        graph_ref, plan = entry
+        if graph_ref() is graph:
+            _plan_cache.move_to_end(key)
+            _plan_cache_stats["hits"] += 1
+            return plan
+        # id() was recycled by a new object; discard the stale entry.
+        del _plan_cache[key]
+    _plan_cache_stats["misses"] += 1
+    plan = PropagationPlan(graph, coupling, echo_cancellation=echo_cancellation)
+
+    def _evict(_ref, key=key):
+        _plan_cache.pop(key, None)
+
+    _plan_cache[key] = (weakref.ref(graph, _evict), plan)
+    while len(_plan_cache) > PLAN_CACHE_SIZE:
+        _plan_cache.popitem(last=False)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and binary factorisation (mainly for tests)."""
+    _plan_cache.clear()
+    _binary_cache.clear()
+    _plan_cache_stats["hits"] = 0
+    _plan_cache_stats["misses"] = 0
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """Cache statistics: current size plus cumulative hits/misses."""
+    return {"size": len(_plan_cache),
+            "binary_size": len(_binary_cache),
+            "hits": _plan_cache_stats["hits"],
+            "misses": _plan_cache_stats["misses"]}
+
+
+# ---------------------------------------------------------------------- #
+# cached binary (k = 2) factorisations for FaBP
+# ---------------------------------------------------------------------- #
+_BinaryKey = Tuple[int, float, str]
+_binary_cache: "OrderedDict[_BinaryKey, Tuple[weakref.ref, Callable]]" = \
+    OrderedDict()
+
+
+def get_binary_solver(graph: Graph, h_residual: float,
+                      variant: str = "linbp") -> Callable[[np.ndarray], np.ndarray]:
+    """A cached direct solver for the binary system of Appendix E.
+
+    Returns ``solve(rhs)`` backed by a sparse LU factorisation of
+    ``I − c_a·A + c_d·D`` where the coefficients depend on ``variant``
+    (see :func:`repro.core.fabp.fabp_closed_form`).  ``rhs`` may be a
+    length-``n`` vector or an ``n x q`` matrix of stacked right-hand
+    sides — SuperLU solves all ``q`` queries in one call, which is the
+    binary analogue of :func:`repro.engine.batch.run_batch`.
+    """
+    h = float(h_residual)
+    if variant == "exact":
+        if abs(h) >= 0.5:
+            raise ValidationError("the exact FABP variant requires |h| < 1/2")
+        factor_a = 2.0 * h / (1.0 - 4.0 * h * h)
+        factor_d = 4.0 * h * h / (1.0 - 4.0 * h * h)
+    elif variant == "linbp":
+        factor_a = 2.0 * h
+        factor_d = 4.0 * h * h
+    else:
+        raise ValidationError(f"unknown variant {variant!r}")
+    key: _BinaryKey = (id(graph), h, variant)
+    entry = _binary_cache.get(key)
+    if entry is not None:
+        graph_ref, solve = entry
+        if graph_ref() is graph:
+            _binary_cache.move_to_end(key)
+            return solve
+        del _binary_cache[key]
+    degree = sp.diags(graph.degree_vector(), format="csr")
+    system = (sp.identity(graph.num_nodes, format="csr")
+              - factor_a * graph.adjacency + factor_d * degree)
+    lu = spla.splu(system.tocsc())
+
+    def solve(rhs: np.ndarray) -> np.ndarray:
+        return lu.solve(np.asarray(rhs, dtype=np.float64))
+
+    def _evict(_ref, key=key):
+        _binary_cache.pop(key, None)
+
+    _binary_cache[key] = (weakref.ref(graph, _evict), solve)
+    while len(_binary_cache) > PLAN_CACHE_SIZE:
+        _binary_cache.popitem(last=False)
+    return solve

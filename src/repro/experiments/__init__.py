@@ -27,7 +27,7 @@ from repro.experiments.fig7_scalability import (
     run_relational_scalability,
     run_timing_table,
 )
-from repro.experiments.runner import ResultTable, timed
+from repro.experiments.runner import ResultTable, propagate_batch, timed
 
 __all__ = [
     "run_baseline_comparison",
@@ -50,5 +50,6 @@ __all__ = [
     "run_relational_scalability",
     "run_timing_table",
     "ResultTable",
+    "propagate_batch",
     "timed",
 ]

@@ -5,6 +5,11 @@ Every experiment module in :mod:`repro.experiments` produces a
 table in the same layout as the corresponding table/figure of the paper.
 Keeping the output as plain data (rather than plots) makes the experiments
 usable from benchmarks, tests and the command line alike.
+
+:func:`propagate_batch` is the experiments' front door to the batched
+engine (:mod:`repro.engine`): timing and throughput studies that issue many
+queries against one graph should go through it rather than looping over
+:func:`repro.core.linbp.linbp`.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["ResultTable", "timed"]
+__all__ = ["ResultTable", "timed", "propagate_batch"]
 
 
 def timed(function: Callable[[], Any]) -> Tuple[Any, float]:
@@ -22,6 +27,23 @@ def timed(function: Callable[[], Any]) -> Tuple[Any, float]:
     result = function()
     elapsed = time.perf_counter() - start
     return result, elapsed
+
+
+def propagate_batch(graph, coupling, explicit_list: Sequence,
+                    echo_cancellation: bool = True, **options) -> List:
+    """Propagate many explicit-belief matrices over one graph in one batch.
+
+    Thin convenience wrapper over :func:`repro.engine.batch.run_batch`
+    using the cached plan for ``(graph, coupling, echo_cancellation)``.
+    ``options`` are forwarded (``max_iterations``, ``tolerance``,
+    ``num_iterations``, ``require_convergence``).  Returns one
+    :class:`~repro.core.results.PropagationResult` per query, matching
+    what sequential :func:`~repro.core.linbp.linbp` calls would produce.
+    """
+    from repro.engine import get_plan, run_batch
+
+    plan = get_plan(graph, coupling, echo_cancellation=echo_cancellation)
+    return run_batch(plan, explicit_list, **options)
 
 
 @dataclass

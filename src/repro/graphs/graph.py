@@ -8,6 +8,9 @@ provides exactly the views the algorithms need:
 
 * ``adjacency`` — symmetric CSR matrix ``A``;
 * ``degree_vector`` / ``degree_matrix`` — the echo-cancellation degrees;
+  the squared-weight degree vector is computed once and cached on the
+  instance (callers receive copies), since every LinBP run and convergence
+  check needs it;
 * ``neighbors(node)`` — neighbour ids and weights, for the message-passing
   BP baseline and for the SBP frontier expansion;
 * ``edges()`` — an iterator over undirected edges, for the relational
@@ -190,7 +193,13 @@ class Graph:
     # degrees and linear algebra views
     # ------------------------------------------------------------------ #
     def degree_vector(self, weighted_squares: bool = True) -> np.ndarray:
-        """Degrees per node; squared-weight sums by default (Section 5.2)."""
+        """Degrees per node; squared-weight sums by default (Section 5.2).
+
+        The squared-weight vector is cached on first computation (the graph
+        is immutable-ish, every propagation needs it); the returned array is
+        a copy, so callers may mutate it freely.  The plain weighted variant
+        (``weighted_squares=False``) is recomputed on each call.
+        """
         if weighted_squares:
             if self._degree_cache is None:
                 self._degree_cache = linalg.degree_vector(self._adjacency, True)

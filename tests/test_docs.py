@@ -1,0 +1,45 @@
+"""Documentation health: README quickstart runs, doc links resolve.
+
+This wires ``scripts/check_docs.py`` into the regular test run so a broken
+README snippet or a dangling intra-repo link fails CI, not just the optional
+script invocation.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _check_docs_module():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", ROOT / "scripts" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_required_documentation_exists():
+    for relative in ("README.md", "docs/architecture.md", "docs/performance.md"):
+        assert (ROOT / relative).exists(), f"{relative} is missing"
+
+
+def test_readme_quickstart_blocks_run():
+    check_docs = _check_docs_module()
+    errors = check_docs.run_quickstart(ROOT)
+    assert errors == [], "\n".join(errors)
+
+
+def test_intra_repo_doc_links_resolve():
+    check_docs = _check_docs_module()
+    dangling = check_docs.broken_links(ROOT)
+    assert dangling == [], \
+        "\n".join(f"{path}: ({target})" for path, target in dangling)
+
+
+def test_check_docs_script_passes_end_to_end():
+    check_docs = _check_docs_module()
+    assert check_docs.main([str(ROOT)]) == 0
