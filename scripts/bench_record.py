@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Record and compare kernel benchmark baselines (``BENCH_sbp.json``).
+
+The benchmark harness under ``benchmarks/`` asserts *relative* claims
+(batched ≥ 2× sequential, vectorised ≥ 5× the reference loops) but keeps
+no memory of absolute kernel cost, so a slow regression that preserves
+the ratios goes unnoticed.  This script closes that gap:
+
+* ``--record`` runs the benchmark targets through pytest-benchmark,
+  extracts the per-kernel minimum wall-clock times, and writes them to a
+  baseline file (default ``BENCH_sbp.json`` at the repository root);
+* without ``--record`` it re-runs the same targets and **fails with a
+  clear per-kernel diff** when any recorded kernel got slower than the
+  allowed threshold (default: 20 % over baseline).
+
+Typical usage::
+
+    PYTHONPATH=src python scripts/bench_record.py --record   # refresh baseline
+    PYTHONPATH=src python scripts/bench_record.py            # regression gate
+
+Baselines are machine-dependent; re-record whenever the benchmark host
+changes.  The default targets are the engine kernel benchmarks (the SBP
+engine and the batched LinBP engine) — pass explicit pytest targets to
+cover more of the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+DEFAULT_TARGETS = [
+    "benchmarks/test_bench_sbp_engine.py",
+    "benchmarks/test_bench_engine_batch.py",
+]
+DEFAULT_BASELINE = "BENCH_sbp.json"
+DEFAULT_THRESHOLD = 0.20
+#: Absolute slowdown (seconds) a kernel must additionally exceed before the
+#: percentage gate fails it — scheduler jitter routinely exceeds 20% on
+#: sub-millisecond kernels, so tiny kernels are reported but never fatal.
+DEFAULT_MIN_DELTA = 0.002
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def run_benchmarks(root: Path, targets: List[str]) -> Dict[str, float]:
+    """Run the pytest-benchmark targets; return kernel -> min seconds."""
+    with tempfile.TemporaryDirectory() as scratch:
+        json_path = Path(scratch) / "bench.json"
+        env = dict(os.environ)
+        src = str(root / "src")
+        env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                                   if env.get("PYTHONPATH") else "")
+        command = [sys.executable, "-m", "pytest", *targets, "-q",
+                   f"--benchmark-json={json_path}"]
+        completed = subprocess.run(command, cwd=root, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {completed.returncode}); "
+                             "fix the benchmarks before recording/comparing")
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+    kernels: Dict[str, float] = {}
+    for record in payload.get("benchmarks", []):
+        kernels[record["name"]] = float(record["stats"]["min"])
+    if not kernels:
+        raise SystemExit("no benchmark records produced - wrong targets?")
+    return kernels
+
+
+def record(baseline_path: Path, kernels: Dict[str, float],
+           threshold: float, min_delta: float, targets: List[str]) -> None:
+    baseline = {
+        "comment": "Kernel benchmark baseline recorded by scripts/bench_record.py; "
+                   "min wall-clock seconds per benchmark (machine-dependent - "
+                   "re-record with --record when the benchmark host changes).",
+        "threshold": threshold,
+        "min_delta_seconds": min_delta,
+        "targets": targets,
+        "kernels": {name: {"min_seconds": seconds}
+                    for name, seconds in sorted(kernels.items())},
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n",
+                             encoding="utf-8")
+    print(f"recorded {len(kernels)} kernel baselines to {baseline_path}")
+    for name, seconds in sorted(kernels.items()):
+        print(f"  {name}: {seconds * 1e3:.3f} ms")
+
+
+def compare(baseline_path: Path, kernels: Dict[str, float],
+            threshold_override: float | None = None,
+            min_delta_override: float | None = None) -> int:
+    if not baseline_path.exists():
+        raise SystemExit(f"{baseline_path} does not exist - run with --record "
+                         "first to establish a baseline")
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    threshold = threshold_override if threshold_override is not None \
+        else float(baseline.get("threshold", DEFAULT_THRESHOLD))
+    min_delta = min_delta_override if min_delta_override is not None \
+        else float(baseline.get("min_delta_seconds", DEFAULT_MIN_DELTA))
+    recorded: Dict[str, Dict[str, float]] = baseline.get("kernels", {})
+    failures = 0
+    print(f"comparing {len(recorded)} recorded kernels "
+          f"(regression threshold: +{threshold:.0%}, "
+          f"noise floor: {min_delta * 1e3:.1f} ms)")
+    for name, entry in sorted(recorded.items()):
+        old = float(entry["min_seconds"])
+        if name not in kernels:
+            failures += 1
+            print(f"FAIL {name}: recorded in baseline but missing from the "
+                  "current run (renamed or deleted? re-record if intended)")
+            continue
+        new = kernels[name]
+        ratio = new / old if old else float("inf")
+        regressed = ratio > 1.0 + threshold and new - old > min_delta
+        noisy = ratio > 1.0 + threshold and not regressed
+        verdict = "FAIL" if regressed else "ok  "
+        if regressed:
+            failures += 1
+        suffix = " [within noise floor]" if noisy else ""
+        print(f"{verdict} {name}: baseline {old * 1e3:.3f} ms, "
+              f"now {new * 1e3:.3f} ms ({ratio:.2f}x){suffix}")
+    for name in sorted(set(kernels) - set(recorded)):
+        print(f"note {name}: not in the baseline (new kernel; "
+              "run --record to start tracking it)")
+    if failures:
+        print(f"\n{failures} kernel(s) regressed beyond +{threshold:.0%}; "
+              "optimise or re-record the baseline with --record if the "
+              "slowdown is intended")
+        return 1
+    print("\nall recorded kernels within the regression threshold")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="write a fresh baseline instead of comparing")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline file path (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="allowed slowdown fraction (default: 0.20 = 20%% "
+                             "when recording; the baseline's recorded value "
+                             "when comparing, unless overridden here)")
+    parser.add_argument("--min-delta", type=float, default=None,
+                        help="absolute slowdown in seconds a kernel must "
+                             "also exceed to fail the gate (default: 0.002 "
+                             "when recording; the baseline's recorded value "
+                             "when comparing, unless overridden here)")
+    parser.add_argument("targets", nargs="*", default=None,
+                        help="pytest benchmark targets "
+                             f"(default: {' '.join(DEFAULT_TARGETS)})")
+    arguments = parser.parse_args(argv)
+    root = repo_root()
+    baseline_path = Path(arguments.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    targets = list(arguments.targets)
+    if not targets:
+        targets = list(DEFAULT_TARGETS)
+        if not arguments.record and baseline_path.exists():
+            # Compare against exactly what the baseline recorded, so a
+            # baseline taken over custom targets is not spuriously failed
+            # for kernels the default targets never run.
+            recorded_targets = json.loads(
+                baseline_path.read_text(encoding="utf-8")).get("targets")
+            if recorded_targets:
+                targets = list(recorded_targets)
+    kernels = run_benchmarks(root, targets)
+    if arguments.record:
+        record(baseline_path, kernels,
+               arguments.threshold if arguments.threshold is not None
+               else DEFAULT_THRESHOLD,
+               arguments.min_delta if arguments.min_delta is not None
+               else DEFAULT_MIN_DELTA,
+               targets)
+        return 0
+    return compare(baseline_path, kernels,
+                   threshold_override=arguments.threshold,
+                   min_delta_override=arguments.min_delta)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,7 +54,14 @@ from repro.core import (
     linbp_star,
     sbp,
 )
-from repro.engine import PropagationPlan, get_plan, run_batch
+from repro.engine import (
+    PropagationPlan,
+    SBPPlan,
+    get_plan,
+    get_sbp_plan,
+    run_batch,
+    run_sbp_batch,
+)
 from repro.exceptions import (
     ConvergenceError,
     DatasetError,
@@ -91,8 +98,11 @@ __all__ = [
     "linbp_star",
     "sbp",
     "PropagationPlan",
+    "SBPPlan",
     "get_plan",
+    "get_sbp_plan",
     "run_batch",
+    "run_sbp_batch",
     "ConvergenceError",
     "DatasetError",
     "NotConvergentParametersError",

@@ -1,0 +1,287 @@
+"""Frozen pre-vectorisation SBP implementation (reference/baseline only).
+
+This module preserves, verbatim in spirit, the per-node implementation of
+SBP and its geodesic helpers as they existed *before* the vectorised
+engine layer (:mod:`repro.engine.sbp_plan`) replaced them: Python-set
+frontier expansion for the multi-source BFS, ``directed_edges()``
+iteration for the Lemma-17 DAG, a fresh CSR slice multiplied against the
+full belief matrix per level, and neighbour-by-neighbour Python loops for
+both incremental updates.
+
+It exists for two reasons and must not be used by production code paths:
+
+* the equivalence tests assert that the vectorised engine reproduces
+  these results to 1e-10, including after chains of incremental updates;
+* the ``benchmarks/test_bench_sbp_engine.py`` speedup claims are measured
+  against this baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.coupling.matrices import CouplingMatrix
+from repro.exceptions import ValidationError
+from repro.graphs.geodesic import UNREACHABLE, GeodesicLevels
+from repro.graphs.graph import Edge, Graph
+
+__all__ = [
+    "reference_geodesic_numbers",
+    "reference_modified_adjacency",
+    "reference_shortest_path_weights",
+    "ReferenceSBP",
+]
+
+
+def reference_geodesic_numbers(graph: Graph,
+                               labeled_nodes: Iterable[int]) -> np.ndarray:
+    """Pre-refactor multi-source BFS: Python sets, one node at a time."""
+    labeled = sorted(set(int(node) for node in labeled_nodes))
+    numbers = np.full(graph.num_nodes, UNREACHABLE, dtype=np.int64)
+    if not labeled:
+        return numbers
+    for node in labeled:
+        if node < 0 or node >= graph.num_nodes:
+            raise ValidationError(
+                f"labeled node {node} out of range [0, {graph.num_nodes})")
+    frontier = np.array(labeled, dtype=np.int64)
+    numbers[frontier] = 0
+    adjacency = graph.adjacency
+    level = 0
+    while frontier.size:
+        level += 1
+        candidates = set()
+        for node in frontier:
+            start, end = adjacency.indptr[node], adjacency.indptr[node + 1]
+            candidates.update(adjacency.indices[start:end].tolist())
+        next_frontier = [node for node in candidates
+                         if numbers[node] == UNREACHABLE]
+        if not next_frontier:
+            break
+        next_frontier_array = np.array(sorted(next_frontier), dtype=np.int64)
+        numbers[next_frontier_array] = level
+        frontier = next_frontier_array
+    return numbers
+
+
+def _reference_levels(graph: Graph, labeled_nodes: Iterable[int]) -> GeodesicLevels:
+    numbers = reference_geodesic_numbers(graph, labeled_nodes)
+    reachable = numbers[numbers != UNREACHABLE]
+    max_level = int(reachable.max()) if reachable.size else -1
+    levels = [np.sort(np.nonzero(numbers == g)[0]) for g in range(max_level + 1)]
+    unreachable = np.sort(np.nonzero(numbers == UNREACHABLE)[0])
+    return GeodesicLevels(numbers=numbers, levels=levels, unreachable=unreachable)
+
+
+def reference_modified_adjacency(graph: Graph,
+                                 labeled_nodes: Iterable[int]) -> sp.csr_matrix:
+    """Pre-refactor ``A*``: one Python iteration over ``directed_edges()``."""
+    numbers = reference_geodesic_numbers(graph, labeled_nodes)
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    for edge in graph.directed_edges():
+        g_source, g_target = numbers[edge.source], numbers[edge.target]
+        if g_source == UNREACHABLE or g_target == UNREACHABLE:
+            continue
+        if g_target == g_source + 1:
+            rows.append(edge.source)
+            cols.append(edge.target)
+            data.append(edge.weight)
+    n = graph.num_nodes
+    return sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+
+
+def reference_shortest_path_weights(graph: Graph,
+                                    labeled_nodes: List[int]) -> sp.csr_matrix:
+    """Pre-refactor path weights: lil_matrix rows + per-neighbour toarray."""
+    labeled = [int(node) for node in labeled_nodes]
+    if len(set(labeled)) != len(labeled):
+        raise ValidationError("labeled_nodes must not contain duplicates")
+    levels = _reference_levels(graph, labeled)
+    n = graph.num_nodes
+    n_labeled = len(labeled)
+    weights = sp.lil_matrix((n, n_labeled))
+    for j, node in enumerate(labeled):
+        weights[node, j] = 1.0
+    dag = reference_modified_adjacency(graph, labeled)
+    dag_csc = dag.tocsc()
+    for level in range(1, levels.max_level + 1):
+        for node in levels.nodes_at(level):
+            start, end = dag_csc.indptr[node], dag_csc.indptr[node + 1]
+            in_neighbors = dag_csc.indices[start:end]
+            in_weights = dag_csc.data[start:end]
+            if in_neighbors.size == 0:
+                continue
+            accumulated = np.zeros(n_labeled)
+            for neighbor, weight in zip(in_neighbors, in_weights):
+                accumulated += weight * weights[neighbor].toarray().ravel()
+            weights[node] = accumulated
+    return weights.tocsr()
+
+
+class ReferenceSBP:
+    """Pre-refactor SBP runner (Algorithms 2–4 with per-node Python loops).
+
+    Mirrors the public surface of :class:`repro.core.sbp.SBP` but returns
+    raw state instead of :class:`PropagationResult` containers; it is only
+    ever used to check and benchmark the vectorised implementation.
+    """
+
+    def __init__(self, graph: Graph, coupling: CouplingMatrix):
+        self.graph = graph
+        self.coupling = coupling
+        self._residual = coupling.residual
+        self._geodesic: np.ndarray = None
+        self._beliefs: np.ndarray = None
+        self._explicit: np.ndarray = None
+
+    @property
+    def beliefs(self) -> np.ndarray:
+        return self._beliefs.copy()
+
+    @property
+    def geodesic_numbers(self) -> np.ndarray:
+        return self._geodesic.copy()
+
+    # -- Algorithm 2 -------------------------------------------------- #
+    def run(self, explicit_residuals: np.ndarray) -> np.ndarray:
+        explicit = np.asarray(explicit_residuals, dtype=float)
+        labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+        n, k = explicit.shape
+        beliefs = np.zeros((n, k))
+        geodesic = np.full(n, UNREACHABLE, dtype=np.int64)
+        if labeled.size:
+            levels = _reference_levels(self.graph, labeled.tolist())
+            geodesic = levels.numbers.copy()
+            beliefs[labeled] = explicit[labeled]
+            dag = reference_modified_adjacency(self.graph, labeled.tolist())
+            dag_t = dag.T.tocsr()
+            for level in range(1, levels.max_level + 1):
+                nodes = levels.nodes_at(level)
+                if nodes.size == 0:
+                    break
+                block = dag_t[nodes]
+                beliefs[nodes] = (block @ beliefs) @ self._residual
+        self._geodesic = geodesic
+        self._beliefs = beliefs
+        self._explicit = explicit.copy()
+        return beliefs.copy()
+
+    # -- Algorithm 3 -------------------------------------------------- #
+    def add_explicit_beliefs(self,
+                             new_residuals: Mapping[int, np.ndarray] | np.ndarray
+                             ) -> np.ndarray:
+        updates = self._normalize_updates(new_residuals)
+        if not updates:
+            return self._beliefs.copy()
+        beliefs = self._beliefs
+        geodesic = self._geodesic
+        explicit = self._explicit
+        residual = self._residual
+        frontier: List[int] = []
+        for node, vector in updates.items():
+            explicit[node] = vector
+            beliefs[node] = vector
+            geodesic[node] = 0
+            frontier.append(node)
+        level = 1
+        frontier_set = set(frontier)
+        while frontier_set:
+            candidates = set()
+            for node in frontier_set:
+                neighbors, _ = self.graph.neighbors(node)
+                candidates.update(int(v) for v in neighbors)
+            next_frontier = set()
+            for node in candidates:
+                current = geodesic[node]
+                if current != UNREACHABLE and current < level:
+                    continue
+                next_frontier.add(node)
+            for node in next_frontier:
+                geodesic[node] = level
+            for node in next_frontier:
+                neighbors, weights = self.graph.neighbors(node)
+                accumulated = np.zeros(beliefs.shape[1])
+                for neighbor, weight in zip(neighbors, weights):
+                    if geodesic[neighbor] == level - 1:
+                        accumulated += weight * beliefs[neighbor]
+                beliefs[node] = accumulated @ residual
+            frontier_set = next_frontier
+            level += 1
+        return beliefs.copy()
+
+    # -- Algorithm 4 -------------------------------------------------- #
+    def add_edges(self, new_edges: Iterable) -> np.ndarray:
+        edges = [item if isinstance(item, Edge)
+                 else Edge(int(item[0]), int(item[1]),
+                           float(item[2]) if len(item) > 2 else 1.0)
+                 for item in new_edges]
+        if not edges:
+            return self._beliefs.copy()
+        self.graph = self.graph.with_edges_added(edges)
+        beliefs = self._beliefs
+        geodesic = self._geodesic
+        residual = self._residual
+        seeds: Dict[int, int] = {}
+        for edge in edges:
+            for source, target in ((edge.source, edge.target),
+                                   (edge.target, edge.source)):
+                g_source = geodesic[source]
+                g_target = geodesic[target]
+                if g_source == UNREACHABLE:
+                    continue
+                candidate = g_source + 1
+                if g_target == UNREACHABLE or candidate < g_target:
+                    seeds[target] = min(seeds.get(target, candidate), candidate)
+                elif candidate == g_target:
+                    seeds[target] = min(seeds.get(target, g_target), g_target)
+        frontier: Dict[int, int] = {}
+        for node, new_number in seeds.items():
+            geodesic[node] = new_number
+            frontier[node] = new_number
+        while frontier:
+            for node in frontier:
+                self._recompute_belief(node, beliefs, geodesic, residual)
+            next_frontier: Dict[int, int] = {}
+            for node, number in frontier.items():
+                neighbors, _ = self.graph.neighbors(node)
+                for neighbor in neighbors:
+                    neighbor = int(neighbor)
+                    candidate = number + 1
+                    current = geodesic[neighbor]
+                    if current == UNREACHABLE or candidate < current:
+                        geodesic[neighbor] = candidate
+                        next_frontier[neighbor] = candidate
+                    elif candidate == current and geodesic[node] + 1 == current:
+                        next_frontier.setdefault(neighbor, current)
+            frontier = next_frontier
+        return beliefs.copy()
+
+    def _recompute_belief(self, node: int, beliefs: np.ndarray,
+                          geodesic: np.ndarray, residual: np.ndarray) -> None:
+        level = geodesic[node]
+        if level == 0:
+            beliefs[node] = self._explicit[node]
+            return
+        neighbors, weights = self.graph.neighbors(node)
+        accumulated = np.zeros(beliefs.shape[1])
+        for neighbor, weight in zip(neighbors, weights):
+            if geodesic[neighbor] == level - 1:
+                accumulated += weight * beliefs[neighbor]
+        beliefs[node] = accumulated @ residual
+
+    def _normalize_updates(self, new_residuals) -> Dict[int, np.ndarray]:
+        k = self.coupling.num_classes
+        updates: Dict[int, np.ndarray] = {}
+        if isinstance(new_residuals, Mapping):
+            for node, vector in new_residuals.items():
+                updates[int(node)] = np.asarray(vector, dtype=float)
+            return updates
+        matrix = np.asarray(new_residuals, dtype=float)
+        for node in np.nonzero(np.any(matrix != 0.0, axis=1))[0]:
+            updates[int(node)] = matrix[node]
+        return updates

@@ -23,19 +23,25 @@ The class :class:`SBP` performs the initial single-pass computation
 
 Both updates only touch the nodes whose geodesic number or belief actually
 changes, which is what makes SBP attractive for dynamic graphs.
+
+All the numerics route through :mod:`repro.engine.sbp_plan`: the initial
+sweep runs on a cached :class:`~repro.engine.sbp_plan.SBPPlan` (vectorised
+BFS, per-level CSR slices, ping-pong buffers), and the incremental updates
+use its vectorised frontier repairs.  Many queries sharing a labeled set
+can be propagated together with
+:func:`repro.engine.sbp_plan.run_sbp_batch`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.coupling.matrices import CouplingMatrix
 from repro.core.results import PropagationResult
+from repro.engine import sbp_plan as engine_sbp
 from repro.exceptions import ValidationError
-from repro.graphs.geodesic import UNREACHABLE, geodesic_levels, modified_adjacency
 from repro.graphs.graph import Edge, Graph
 
 __all__ = ["SBP", "sbp"]
@@ -74,29 +80,17 @@ class SBP:
     def run(self, explicit_residuals: np.ndarray) -> PropagationResult:
         """Compute SBP beliefs for all nodes in a single sweep over levels.
 
-        Nodes that cannot reach any labeled node keep all-zero beliefs and
-        geodesic number :data:`repro.graphs.geodesic.UNREACHABLE`.
+        The sweep runs on the cached :class:`~repro.engine.sbp_plan.SBPPlan`
+        for this graph and labeled set — repeated runs against the same
+        labels reuse the geodesic structure and only redo the per-level
+        products.  Nodes that cannot reach any labeled node keep all-zero
+        beliefs and geodesic number :data:`repro.graphs.geodesic.UNREACHABLE`.
         """
         explicit = self._check_explicit(explicit_residuals)
         labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
-        n, k = explicit.shape
-        beliefs = np.zeros((n, k))
-        geodesic = np.full(n, UNREACHABLE, dtype=np.int64)
-        edges_touched = 0
-        if labeled.size:
-            levels = geodesic_levels(self.graph, labeled.tolist())
-            geodesic = levels.numbers.copy()
-            beliefs[labeled] = explicit[labeled]
-            dag = modified_adjacency(self.graph, labeled.tolist())
-            dag_t = dag.T.tocsr()  # rows: receiving node, columns: senders
-            for level in range(1, levels.max_level + 1):
-                nodes = levels.nodes_at(level)
-                if nodes.size == 0:
-                    break
-                block = dag_t[nodes]  # (len(nodes) x n) sparse
-                edges_touched += block.nnz
-                beliefs[nodes] = (block @ beliefs) @ self._residual
-        self._geodesic = geodesic
+        plan = engine_sbp.get_sbp_plan(self.graph, labeled)
+        beliefs, edges_touched = plan.propagate(explicit, self._residual)
+        self._geodesic = plan.geodesic_numbers.copy()
         self._beliefs = beliefs
         self._explicit = explicit.copy()
         return self._result(edges_touched=edges_touched)
@@ -111,7 +105,9 @@ class SBP:
         ----------
         new_residuals:
             Either a mapping ``node -> residual vector`` or a full ``n x k``
-            matrix whose non-zero rows are the new explicit beliefs.
+            matrix whose non-zero rows are the new explicit beliefs.  All
+            nodes and vectors are validated *before* any state is touched,
+            so a malformed update leaves the runner unchanged.
 
         Returns
         -------
@@ -125,52 +121,13 @@ class SBP:
         updates = self._normalize_updates(new_residuals)
         if not updates:
             return self._result(edges_touched=0, nodes_updated=0)
-        beliefs = self._beliefs
-        geodesic = self._geodesic
-        explicit = self._explicit
-        residual = self._residual
-        adjacency = self.graph.adjacency
-        # Line 1-2 of Algorithm 3: new labeled nodes get geodesic number 0 and
-        # their explicit beliefs.
-        frontier: List[int] = []
-        for node, vector in updates.items():
-            explicit[node] = vector
-            beliefs[node] = vector
-            geodesic[node] = 0
-            frontier.append(node)
-        nodes_updated = len(frontier)
-        edges_touched = 0
-        level = 1
-        frontier_set = set(frontier)
-        while frontier_set:
-            # Line 5: nodes adjacent to the previous frontier whose geodesic
-            # number is not already smaller than the candidate level.
-            candidates = set()
-            for node in frontier_set:
-                neighbors, _ = self.graph.neighbors(node)
-                candidates.update(int(v) for v in neighbors)
-            next_frontier = set()
-            for node in candidates:
-                current = geodesic[node]
-                if current != UNREACHABLE and current < level:
-                    continue
-                next_frontier.add(node)
-            # Line 6: recompute beliefs of the next frontier from *all* of
-            # their parents at level-1 (updated or not).
-            for node in next_frontier:
-                geodesic[node] = level
-            for node in next_frontier:
-                neighbors, weights = self.graph.neighbors(node)
-                accumulated = np.zeros(beliefs.shape[1])
-                for neighbor, weight in zip(neighbors, weights):
-                    if geodesic[neighbor] == level - 1:
-                        accumulated += weight * beliefs[neighbor]
-                        edges_touched += 1
-                beliefs[node] = accumulated @ residual
-            nodes_updated += len(next_frontier)
-            frontier_set = next_frontier
-            level += 1
-        return self._result(edges_touched=edges_touched, nodes_updated=nodes_updated)
+        nodes = np.fromiter(updates.keys(), dtype=np.int64, count=len(updates))
+        vectors = np.vstack([updates[int(node)] for node in nodes])
+        stats = engine_sbp.repair_explicit_beliefs(
+            self.graph.adjacency, self._geodesic, self._beliefs,
+            self._explicit, self._residual, nodes, vectors)
+        return self._result(edges_touched=stats.edges_touched,
+                            nodes_updated=stats.nodes_updated)
 
     # ------------------------------------------------------------------ #
     # incremental update: new edges (Algorithm 4)
@@ -189,72 +146,13 @@ class SBP:
             return self._result(edges_touched=0, nodes_updated=0)
         # Line 1: update the adjacency matrix.
         self.graph = self.graph.with_edges_added(edges)
-        beliefs = self._beliefs
-        geodesic = self._geodesic
-        residual = self._residual
-        # Line 2: seed nodes are targets of new edges that now have a shorter
-        # (or first) geodesic path through the new edge.
-        seeds: Dict[int, int] = {}
-        for edge in edges:
-            for source, target in ((edge.source, edge.target),
-                                   (edge.target, edge.source)):
-                g_source = geodesic[source]
-                g_target = geodesic[target]
-                if g_source == UNREACHABLE:
-                    continue
-                candidate = g_source + 1
-                if g_target == UNREACHABLE or candidate < g_target:
-                    seeds[target] = min(seeds.get(target, candidate), candidate)
-                elif candidate == g_target:
-                    # Same geodesic number but a new shortest path: the belief
-                    # changes even though the geodesic number does not.
-                    seeds[target] = min(seeds.get(target, g_target), g_target)
-        nodes_updated = 0
-        edges_touched = 0
-        frontier: Dict[int, int] = {}
-        for node, new_number in seeds.items():
-            geodesic[node] = new_number
-            frontier[node] = new_number
-        # Lines 3-8: recompute beliefs of the frontier, then keep relaxing
-        # neighbours whose geodesic number or belief changes.
-        while frontier:
-            for node in frontier:
-                touched = self._recompute_belief(node, beliefs, geodesic, residual)
-                edges_touched += touched
-            nodes_updated += len(frontier)
-            next_frontier: Dict[int, int] = {}
-            for node, number in frontier.items():
-                neighbors, _ = self.graph.neighbors(node)
-                for neighbor in neighbors:
-                    neighbor = int(neighbor)
-                    candidate = number + 1
-                    current = geodesic[neighbor]
-                    if current == UNREACHABLE or candidate < current:
-                        geodesic[neighbor] = candidate
-                        next_frontier[neighbor] = candidate
-                    elif candidate == current and geodesic[node] + 1 == current:
-                        # A parent on a shortest path changed its belief, so
-                        # the child's belief must be refreshed too.
-                        next_frontier.setdefault(neighbor, current)
-            frontier = next_frontier
-        return self._result(edges_touched=edges_touched, nodes_updated=nodes_updated)
-
-    def _recompute_belief(self, node: int, beliefs: np.ndarray,
-                          geodesic: np.ndarray, residual: np.ndarray) -> int:
-        """Recompute one node's belief from its level−1 parents; returns edges read."""
-        level = geodesic[node]
-        if level == 0:
-            beliefs[node] = self._explicit[node]
-            return 0
-        neighbors, weights = self.graph.neighbors(node)
-        accumulated = np.zeros(beliefs.shape[1])
-        touched = 0
-        for neighbor, weight in zip(neighbors, weights):
-            if geodesic[neighbor] == level - 1:
-                accumulated += weight * beliefs[neighbor]
-                touched += 1
-        beliefs[node] = accumulated @ residual
-        return touched
+        sources = np.array([edge.source for edge in edges], dtype=np.int64)
+        targets = np.array([edge.target for edge in edges], dtype=np.int64)
+        stats = engine_sbp.repair_added_edges(
+            self.graph.adjacency, self._geodesic, self._beliefs,
+            self._explicit, self._residual, sources, targets)
+        return self._result(edges_touched=stats.edges_touched,
+                            nodes_updated=stats.nodes_updated)
 
     # ------------------------------------------------------------------ #
     # state access
@@ -312,19 +210,29 @@ class SBP:
 
     def _normalize_updates(self, new_residuals: Mapping[int, np.ndarray] | np.ndarray) -> Dict[int, np.ndarray]:
         k = self.coupling.num_classes
+        n = self.graph.num_nodes
         updates: Dict[int, np.ndarray] = {}
         if isinstance(new_residuals, Mapping):
+            # Validate every node index and vector before returning, so the
+            # caller never mutates state from a partially valid mapping (a
+            # negative index would otherwise silently address from the end
+            # of the belief matrix, an overflowing one would raise after
+            # earlier entries were already applied).
             for node, vector in new_residuals.items():
+                index = int(node)
+                if index < 0 or index >= n:
+                    raise ValidationError(
+                        f"node {node} out of range [0, {n})")
                 array = np.asarray(vector, dtype=float)
                 if array.shape != (k,):
                     raise ValidationError(
                         f"belief vector for node {node} must have length {k}")
-                updates[int(node)] = array
+                updates[index] = array
             return updates
         matrix = np.asarray(new_residuals, dtype=float)
-        if matrix.shape != (self.graph.num_nodes, k):
+        if matrix.shape != (n, k):
             raise ValidationError(
-                f"expected a {self.graph.num_nodes} x {k} matrix of new beliefs")
+                f"expected a {n} x {k} matrix of new beliefs")
         for node in np.nonzero(np.any(matrix != 0.0, axis=1))[0]:
             updates[int(node)] = matrix[node]
         return updates

@@ -1,9 +1,9 @@
 """Shared propagation engine: cached plans + batched buffer-reuse kernels.
 
 This layer sits between the solver front ends (:mod:`repro.core.linbp`,
-:mod:`repro.core.fabp`, the experiment drivers) and the raw linear
-algebra.  It contributes two things the one-query-at-a-time API could
-not:
+:mod:`repro.core.fabp`, :mod:`repro.core.sbp`, the experiment drivers)
+and the raw linear algebra.  It contributes three things the
+one-query-at-a-time API could not:
 
 * :mod:`repro.engine.plan` — :class:`PropagationPlan`, a cached bundle of
   per-``(graph, coupling, echo_cancellation)`` artifacts (canonical CSR
@@ -13,7 +13,13 @@ not:
 * :mod:`repro.engine.batch` — :func:`run_batch`, which propagates many
   explicit-belief matrices concurrently as one ``n x (q·k)`` block over
   preallocated ping-pong buffers (:class:`BatchWorkspace`), using the
-  in-place kernels of :mod:`repro.engine.kernels`.
+  in-place kernels of :mod:`repro.engine.kernels`;
+* :mod:`repro.engine.sbp_plan` — :class:`SBPPlan`, the single-pass
+  analogue: cached geodesic structure (vectorised multi-source BFS, the
+  Lemma-17 DAG, contiguous per-level CSR slices) per
+  ``(graph, labeled set)``, :func:`run_sbp_batch` for stacked SBP
+  queries, and the vectorised ΔSBP frontier repairs behind
+  Algorithms 3–4.
 
 See ``docs/performance.md`` for the API guide and caching semantics.
 """
@@ -27,6 +33,14 @@ from repro.engine.plan import (
     get_plan,
     plan_cache_info,
 )
+from repro.engine.sbp_plan import (
+    SBPPlan,
+    get_sbp_plan,
+    repair_added_edges,
+    repair_explicit_beliefs,
+    run_sbp_batch,
+    sbp_plan_cache_info,
+)
 
 __all__ = [
     "BatchWorkspace",
@@ -37,4 +51,10 @@ __all__ = [
     "get_binary_solver",
     "get_plan",
     "plan_cache_info",
+    "SBPPlan",
+    "get_sbp_plan",
+    "repair_added_edges",
+    "repair_explicit_beliefs",
+    "run_sbp_batch",
+    "sbp_plan_cache_info",
 ]

@@ -37,8 +37,9 @@ from repro.coupling.matrices import CouplingMatrix
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
 
-__all__ = ["PropagationPlan", "get_plan", "get_binary_solver",
-           "clear_plan_cache", "plan_cache_info"]
+__all__ = ["PropagationPlan", "GraphKeyedCache", "get_plan",
+           "get_binary_solver", "clear_plan_cache", "plan_cache_info",
+           "register_auxiliary_cache"]
 
 #: Maximum number of cached propagation plans / binary factorisations.
 PLAN_CACHE_SIZE = 32
@@ -156,15 +157,57 @@ class PropagationPlan:
 # ---------------------------------------------------------------------- #
 # the plan cache
 # ---------------------------------------------------------------------- #
-# Keys hold id(graph); entries also hold a weakref to the graph to verify
-# that the id was not recycled by a different object.  Neither the entry
-# nor the plan holds a strong reference to the graph wrapper, so entries
-# are evicted as soon as their graph is garbage collected (the bounded
-# LRU additionally caps how many plans survive for long-lived graphs).
-_CacheKey = Tuple[int, bool, float, bytes]
-_plan_cache: "OrderedDict[_CacheKey, Tuple[weakref.ref, PropagationPlan]]" = \
-    OrderedDict()
-_plan_cache_stats = {"hits": 0, "misses": 0}
+class GraphKeyedCache:
+    """Bounded LRU of per-graph artifacts, shared by every engine cache.
+
+    Keys hold ``id(graph)`` plus a caller-supplied suffix; entries also
+    hold a weakref to the graph to verify that the id was not recycled by
+    a different object.  Neither the entry nor the cached value holds a
+    strong reference to the graph wrapper, so entries are evicted as soon
+    as their graph is garbage collected (the bounded LRU additionally
+    caps how many values survive for long-lived graphs).  ``lookup``
+    counts hits/misses; ``store`` inserts and trims.
+    """
+
+    def __init__(self, max_size: int):
+        self._max_size = max_size
+        self._entries: "OrderedDict[tuple, Tuple[weakref.ref, object]]" = \
+            OrderedDict()
+        self.stats = {"hits": 0, "misses": 0}
+
+    def lookup(self, graph: Graph, key_suffix: tuple):
+        key = (id(graph),) + key_suffix
+        entry = self._entries.get(key)
+        if entry is not None:
+            graph_ref, value = entry
+            if graph_ref() is graph:
+                self._entries.move_to_end(key)
+                self.stats["hits"] += 1
+                return value
+            # id() was recycled by a new object; discard the stale entry.
+            del self._entries[key]
+        self.stats["misses"] += 1
+        return None
+
+    def store(self, graph: Graph, key_suffix: tuple, value) -> None:
+        key = (id(graph),) + key_suffix
+
+        def _evict(_ref, key=key):
+            self._entries.pop(key, None)
+
+        self._entries[key] = (weakref.ref(graph, _evict), value)
+        while len(self._entries) > self._max_size:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = {"hits": 0, "misses": 0}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_plan_cache = GraphKeyedCache(PLAN_CACHE_SIZE)
 
 
 def _coupling_key(coupling: CouplingMatrix) -> Tuple[float, bytes]:
@@ -182,50 +225,53 @@ def get_plan(graph: Graph, coupling: CouplingMatrix,
     plan; the stale plan ages out of the bounded LRU (at most
     ``PLAN_CACHE_SIZE`` plans are retained, least recently used first).
     """
-    key: _CacheKey = (id(graph), bool(echo_cancellation)) + _coupling_key(coupling)
-    entry = _plan_cache.get(key)
-    if entry is not None:
-        graph_ref, plan = entry
-        if graph_ref() is graph:
-            _plan_cache.move_to_end(key)
-            _plan_cache_stats["hits"] += 1
-            return plan
-        # id() was recycled by a new object; discard the stale entry.
-        del _plan_cache[key]
-    _plan_cache_stats["misses"] += 1
-    plan = PropagationPlan(graph, coupling, echo_cancellation=echo_cancellation)
-
-    def _evict(_ref, key=key):
-        _plan_cache.pop(key, None)
-
-    _plan_cache[key] = (weakref.ref(graph, _evict), plan)
-    while len(_plan_cache) > PLAN_CACHE_SIZE:
-        _plan_cache.popitem(last=False)
+    key_suffix = (bool(echo_cancellation),) + _coupling_key(coupling)
+    plan = _plan_cache.lookup(graph, key_suffix)
+    if plan is None:
+        plan = PropagationPlan(graph, coupling,
+                               echo_cancellation=echo_cancellation)
+        _plan_cache.store(graph, key_suffix, plan)
     return plan
+
+
+# Sibling engine caches (e.g. the SBP plan cache) register a clear
+# function and an info function here so that clear_plan_cache() and
+# plan_cache_info() cover the whole engine without import cycles.
+_auxiliary_caches: list = []
+
+
+def register_auxiliary_cache(clear, info) -> None:
+    """Join a sibling engine cache to the clear/info reporting."""
+    _auxiliary_caches.append((clear, info))
 
 
 def clear_plan_cache() -> None:
     """Drop every cached plan and binary factorisation (mainly for tests)."""
     _plan_cache.clear()
     _binary_cache.clear()
-    _plan_cache_stats["hits"] = 0
-    _plan_cache_stats["misses"] = 0
+    for clear, _info in _auxiliary_caches:
+        clear()
 
 
 def plan_cache_info() -> Dict[str, int]:
-    """Cache statistics: current size plus cumulative hits/misses."""
-    return {"size": len(_plan_cache),
+    """Cache statistics: current size plus cumulative hits/misses.
+
+    Includes the auxiliary engine caches (e.g. ``sbp_size``/``sbp_hits``/
+    ``sbp_misses`` from :mod:`repro.engine.sbp_plan`).
+    """
+    info = {"size": len(_plan_cache),
             "binary_size": len(_binary_cache),
-            "hits": _plan_cache_stats["hits"],
-            "misses": _plan_cache_stats["misses"]}
+            "hits": _plan_cache.stats["hits"],
+            "misses": _plan_cache.stats["misses"]}
+    for _clear, cache_info in _auxiliary_caches:
+        info.update(cache_info())
+    return info
 
 
 # ---------------------------------------------------------------------- #
 # cached binary (k = 2) factorisations for FaBP
 # ---------------------------------------------------------------------- #
-_BinaryKey = Tuple[int, float, str]
-_binary_cache: "OrderedDict[_BinaryKey, Tuple[weakref.ref, Callable]]" = \
-    OrderedDict()
+_binary_cache = GraphKeyedCache(PLAN_CACHE_SIZE)
 
 
 def get_binary_solver(graph: Graph, h_residual: float,
@@ -250,14 +296,9 @@ def get_binary_solver(graph: Graph, h_residual: float,
         factor_d = 4.0 * h * h
     else:
         raise ValidationError(f"unknown variant {variant!r}")
-    key: _BinaryKey = (id(graph), h, variant)
-    entry = _binary_cache.get(key)
-    if entry is not None:
-        graph_ref, solve = entry
-        if graph_ref() is graph:
-            _binary_cache.move_to_end(key)
-            return solve
-        del _binary_cache[key]
+    solve = _binary_cache.lookup(graph, (h, variant))
+    if solve is not None:
+        return solve
     degree = sp.diags(graph.degree_vector(), format="csr")
     system = (sp.identity(graph.num_nodes, format="csr")
               - factor_a * graph.adjacency + factor_d * degree)
@@ -266,10 +307,5 @@ def get_binary_solver(graph: Graph, h_residual: float,
     def solve(rhs: np.ndarray) -> np.ndarray:
         return lu.solve(np.asarray(rhs, dtype=np.float64))
 
-    def _evict(_ref, key=key):
-        _binary_cache.pop(key, None)
-
-    _binary_cache[key] = (weakref.ref(graph, _evict), solve)
-    while len(_binary_cache) > PLAN_CACHE_SIZE:
-        _binary_cache.popitem(last=False)
+    _binary_cache.store(graph, (h, variant), solve)
     return solve

@@ -9,7 +9,12 @@ around 50 % new labels.
 
 Both the relational implementations (as in the paper's SQL experiment) and
 the in-memory implementations are measured, so the crossover can be checked
-independently of the engine.
+independently of the engine.  Since the vectorised-SBP refactor every
+variant routes through :mod:`repro.engine.sbp_plan`: the from-scratch runs
+sweep a cached :class:`~repro.engine.sbp_plan.SBPPlan` and the ΔSBP runs
+use its set-at-a-time frontier repairs (the relational engine through the
+same numeric core), so the crossover reflects algorithmic cost rather than
+Python interpretation overhead.
 """
 
 from __future__ import annotations

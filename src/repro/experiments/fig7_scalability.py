@@ -54,10 +54,12 @@ def _workloads(max_index: int, seed: int) -> List[SyntheticWorkload]:
 def run_memory_scalability(max_index: int = 4, epsilon: float = DEFAULT_EPSILON,
                            include_bp: bool = True, seed: int = 0,
                            workloads: Optional[Sequence[SyntheticWorkload]] = None) -> ResultTable:
-    """Fig. 7a: in-memory BP vs LinBP runtimes over the Kronecker suite.
+    """Fig. 7a: in-memory BP vs LinBP vs SBP/ΔSBP runtimes.
 
     Each row reports the number of edges, the wall-clock seconds for 5
-    iterations of BP and of LinBP, and their ratio.
+    iterations of BP and of LinBP, the single sweep of SBP (through the
+    engine's cached :class:`~repro.engine.sbp_plan.SBPPlan`), the
+    incremental ΔSBP applying the 1 ‰ update workload, and the ratios.
     """
     table = ResultTable("Fig. 7a — main-memory scalability (5 iterations)")
     for workload in (workloads or _workloads(max_index, seed)):
@@ -65,11 +67,20 @@ def run_memory_scalability(max_index: int = 4, epsilon: float = DEFAULT_EPSILON,
         _, linbp_seconds = timed(lambda: linbp(workload.graph, coupling,
                                                workload.explicit,
                                                num_iterations=TIMING_ITERATIONS))
+        sbp_runner = SBP(workload.graph, coupling)
+        _, sbp_seconds = timed(lambda: sbp_runner.run(workload.explicit))
+        # ΔSBP: apply the 1 permille update workload onto the SBP state.
+        delta_result, delta_seconds = timed(
+            lambda: sbp_runner.add_explicit_beliefs(workload.explicit_update))
         row: Dict[str, object] = {
             "index": workload.index,
             "nodes": workload.num_nodes,
             "edges": workload.num_edges,
             "linbp_seconds": linbp_seconds,
+            "sbp_seconds": sbp_seconds,
+            "delta_sbp_seconds": delta_seconds,
+            "delta_nodes_updated": delta_result.extra.get("nodes_updated"),
+            "linbp_over_sbp": linbp_seconds / sbp_seconds if sbp_seconds else float("inf"),
         }
         if include_bp:
             _, bp_seconds = timed(lambda: belief_propagation(
@@ -131,6 +142,8 @@ def run_timing_table(max_index: int = 3, epsilon: float = DEFAULT_EPSILON,
             "edges": memory_row["edges"],
             "bp_seconds": memory_row.get("bp_seconds"),
             "linbp_seconds": memory_row["linbp_seconds"],
+            "sbp_seconds": memory_row["sbp_seconds"],
+            "delta_sbp_seconds": memory_row["delta_sbp_seconds"],
             "linbp_sql_seconds": relational_row["linbp_sql_seconds"],
             "sbp_sql_seconds": relational_row["sbp_sql_seconds"],
             "delta_sbp_sql_seconds": relational_row["delta_sbp_sql_seconds"],

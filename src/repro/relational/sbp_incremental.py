@@ -14,25 +14,41 @@ the ``G(v, g)`` / ``B(v, c, b)`` relations that the update affects:
   the repair then proceeds like Algorithm 3 but geodesic numbers may be
   rewritten more than once, exactly as discussed in Appendix C.
 
+The *numeric core* — which nodes each wave visits and what their repaired
+beliefs are — runs through the engine's vectorised frontier repairs
+(:func:`repro.engine.sbp_plan.repair_explicit_beliefs` /
+:func:`repro.engine.sbp_plan.repair_added_edges`): the relational state is
+materialised into matrices once per update, repaired set-at-a-time, and
+only the touched rows are written back to the ``G``/``B`` relations.  This
+replaces the per-row join/aggregate pipeline the module used to interpret
+in Python.  The resulting beliefs and geodesic numbers are identical; the
+relations can differ in one representational corner only — a repaired
+node whose parent contributions cancel to *exactly* zero keeps no ``B``
+rows, where the old aggregate kept explicit ``0.0`` rows.
+
 The return values use the shared :class:`~repro.core.results.PropagationResult`
 container; ``extra['nodes_updated']`` reports the amount of repaired state,
 which is the quantity behind the ΔSBP-vs-SBP crossover plots (Fig. 7e and
-Fig. 10b).
+Fig. 10b); ``extra['rows_processed_update']`` counts the parent-edge rows
+the repair read plus the belief rows it wrote.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
 from repro.core.results import PropagationResult
+from repro.engine.sbp_plan import (
+    RepairStats,
+    repair_added_edges,
+    repair_explicit_beliefs,
+)
 from repro.exceptions import ValidationError
-from repro.graphs.graph import Edge, Graph
+from repro.graphs.graph import Edge
 from repro.relational import schema
-from repro.relational.engine import aggregate, anti_join, equi_join, project, select
 from repro.relational.sbp_sql import RelationalSBP
-from repro.relational.table import Table
 
 __all__ = ["add_explicit_beliefs_sql", "add_edges_sql"]
 
@@ -43,46 +59,50 @@ def _require_state(runner: RelationalSBP) -> None:
         raise ValidationError("run() must be called before incremental updates")
 
 
-def _recompute_beliefs_for(runner: RelationalSBP, frontier: Table,
-                           level_of: Dict[int, int]) -> Tuple[int, int]:
-    """Recompute beliefs for every node in ``frontier`` from its level−1 parents.
+def _materialize_state(runner: RelationalSBP) -> Tuple[np.ndarray, np.ndarray,
+                                                       np.ndarray]:
+    """Dense ``(beliefs, geodesic, explicit)`` mirrors of the relations.
 
-    ``level_of`` maps every node currently in ``G`` to its geodesic number;
-    a frontier node at level ``g`` aggregates over incoming edges whose source
-    is at level ``g − 1`` (regardless of whether that source was itself
-    updated), which is line 6 of Algorithm 3 / Algorithm 4.
-
-    Returns ``(rows_written, rows_processed)``.
+    Materialised from the relations once, then cached on the runner: the
+    repairs mutate these arrays in place, so subsequent ΔSBP calls skip
+    the O(n) extraction and only pay for the repaired region (the cost
+    Fig. 7e/10b measure).  :meth:`RelationalSBP.run` resets the cache.
     """
-    rows_processed = 0
-    # Join: frontier(v, g) ⋈ A(s, t=v, w) ⋈ B(s, c1, b) ⋈ H(c1, c2, h),
-    # restricted to sources s with g_s = g_v − 1.
-    incoming = equi_join(frontier, runner.relation_a, on=[("v", "t")], name="in_edges")
-    rows_processed += incoming.num_rows
-    if incoming.num_rows == 0:
-        return 0, rows_processed
-    parent_level_ok = select(
-        incoming,
-        predicate=lambda r: level_of.get(r["s"], -10) == r["g"] - 1,
-        name="in_edges_prev")
-    with_beliefs = equi_join(parent_level_ok, runner.relation_b, on=[("s", "v")],
-                             name="in_B")
-    rows_processed += with_beliefs.num_rows
-    with_coupling = equi_join(with_beliefs, runner.relation_h, on=[("c", "c1")],
-                              name="in_B_H")
-    rows_processed += with_coupling.num_rows
-    new_beliefs = aggregate(with_coupling, group_by=("v", "c2"),
-                            aggregations={"b": ("sum",
-                                                lambda r: r["w"] * r["b"] * r["h"])},
-                            name="B_new")
-    # Nodes in the frontier that have no qualifying parent at all must have
-    # their old belief rows removed (they may become all-zero when their
-    # previous source of information disappeared); nodes with new rows are
-    # upserted.
-    frontier_nodes = {row[0] for row in frontier}
-    runner.relation_b.delete_where(lambda r: r["v"] in frontier_nodes)
-    rows_written = runner.relation_b.insert_rows(new_beliefs.rows)
-    return rows_written, rows_processed
+    if runner.dense_state is None:
+        n = runner.graph.num_nodes
+        k = runner.coupling.num_classes
+        runner.dense_state = {
+            "beliefs": schema.beliefs_to_matrix(runner.relation_b, n, k),
+            "geodesic": schema.geodesic_to_vector(runner.relation_g, n),
+            "explicit": schema.beliefs_to_matrix(runner.relation_e, n, k),
+        }
+    state = runner.dense_state
+    return state["beliefs"], state["geodesic"], state["explicit"]
+
+
+def _write_back(runner: RelationalSBP, beliefs: np.ndarray,
+                geodesic: np.ndarray, stats: RepairStats) -> int:
+    """Upsert the repaired ``G`` rows and rewrite the touched ``B`` rows.
+
+    Only the nodes the repair touched are written; a touched node whose
+    belief collapsed to all-zero (it lost its information source) keeps no
+    ``B`` rows, matching the delete-then-upsert semantics of the original
+    join pipeline.  Returns the number of belief rows written.
+    """
+    touched = stats.touched
+    runner.relation_g.upsert(
+        ((int(node), int(geodesic[node])) for node in touched),
+        key_columns=("v",))
+    touched_set = {int(node) for node in touched}
+    runner.relation_b.delete_where(lambda r: r["v"] in touched_set)
+    k = beliefs.shape[1]
+    rows: List[Tuple[int, int, float]] = []
+    for node in touched:
+        node = int(node)
+        row = beliefs[node]
+        if geodesic[node] == 0 or np.any(row != 0.0):
+            rows.extend((node, c, float(row[c])) for c in range(k))
+    return runner.relation_b.insert_rows(rows)
 
 
 def add_explicit_beliefs_sql(runner: RelationalSBP,
@@ -106,48 +126,15 @@ def add_explicit_beliefs_sql(runner: RelationalSBP,
     relation_en = schema.explicit_belief_table(matrix, name="En")
     if relation_en.num_rows == 0:
         return runner._result(nodes_updated=0)
-    rows_processed = 0
-    nodes_updated = 0
-    # Lines 1-2: new labeled nodes get geodesic number 0 and their beliefs.
-    new_labeled = project(relation_en, ("v",), distinct=True, name="Gn")
-    runner.relation_g.upsert(((row[0], 0) for row in new_labeled),
-                             key_columns=("v",))
-    labeled_nodes = {row[0] for row in new_labeled}
-    runner.relation_b.delete_where(lambda r: r["v"] in labeled_nodes)
-    runner.relation_b.insert_rows(relation_en.rows)
+    beliefs, geodesic, explicit = _materialize_state(runner)
+    nodes = np.nonzero(np.any(matrix != 0.0, axis=1))[0].astype(np.int64)
+    stats = repair_explicit_beliefs(
+        runner.graph.adjacency, geodesic, beliefs, explicit,
+        runner.coupling.residual, nodes, matrix[nodes])
     runner.relation_e.upsert(relation_en.rows, key_columns=("v", "c"))
-    nodes_updated += len(labeled_nodes)
-    # Lines 4-8: radiate the update outwards.
-    frontier_nodes = labeled_nodes
-    level = 1
-    while frontier_nodes:
-        level_of = {row[0]: row[1] for row in runner.relation_g}
-        # Line 5: neighbours of the previous frontier whose geodesic number is
-        # not already smaller than the current level.
-        frontier_table = Table("Gn_prev", ("v", "g"))
-        frontier_table.insert_rows((node, level - 1) for node in sorted(frontier_nodes))
-        reachable = equi_join(frontier_table, runner.relation_a, on=[("v", "s")],
-                              name="reach")
-        rows_processed += reachable.num_rows
-        candidates = project(reachable, ("t",), rename={"t": "v"}, distinct=True,
-                             name="candidates")
-        next_nodes = {row[0] for row in candidates
-                      if level_of.get(row[0], level) >= level}
-        if not next_nodes:
-            break
-        runner.relation_g.upsert(((node, level) for node in sorted(next_nodes)),
-                                 key_columns=("v",))
-        level_of.update({node: level for node in next_nodes})
-        next_frontier_table = Table("Gn", ("v", "g"))
-        next_frontier_table.insert_rows((node, level) for node in sorted(next_nodes))
-        # Line 6: recompute their beliefs from all level−1 parents.
-        _, processed = _recompute_beliefs_for(runner, next_frontier_table, level_of)
-        rows_processed += processed
-        nodes_updated += len(next_nodes)
-        frontier_nodes = next_nodes
-        level += 1
-    result = runner._result(nodes_updated=nodes_updated)
-    result.extra["rows_processed_update"] = rows_processed
+    rows_written = _write_back(runner, beliefs, geodesic, stats)
+    result = runner._result(nodes_updated=stats.nodes_updated)
+    result.extra["rows_processed_update"] = stats.edges_touched + rows_written
     return result
 
 
@@ -173,55 +160,13 @@ def add_edges_sql(runner: RelationalSBP,
     # Line 1: update the adjacency relation (and the bound graph).
     runner.graph = runner.graph.with_edges_added(edges)
     runner.relation_a = schema.adjacency_table(runner.graph)
-    rows_processed = 0
-    nodes_updated = 0
-    level_of = {row[0]: row[1] for row in runner.relation_g}
-    # Line 2: seed nodes — targets of new edges with a now-shorter (or first)
-    # geodesic path, or an additional shortest path of the same length.
-    seeds: Dict[int, int] = {}
-    for edge in edges:
-        for source, target in ((edge.source, edge.target),
-                               (edge.target, edge.source)):
-            if source not in level_of:
-                continue
-            candidate = level_of[source] + 1
-            current = level_of.get(target)
-            if current is None or candidate <= current:
-                best = min(seeds.get(target, candidate), candidate)
-                seeds[target] = best
-    frontier: Dict[int, int] = {}
-    for node, number in seeds.items():
-        level_of[node] = number
-        frontier[node] = number
-    runner.relation_g.upsert(((node, number) for node, number in sorted(seeds.items())),
-                             key_columns=("v",))
-    # Lines 3-8: repair the frontier, then keep relaxing neighbours.
-    while frontier:
-        frontier_table = Table("Gn", ("v", "g"))
-        frontier_table.insert_rows(sorted(frontier.items()))
-        _, processed = _recompute_beliefs_for(runner, frontier_table, level_of)
-        rows_processed += processed
-        nodes_updated += len(frontier)
-        next_frontier: Dict[int, int] = {}
-        for node, number in frontier.items():
-            start, end = (runner.graph.adjacency.indptr[node],
-                          runner.graph.adjacency.indptr[node + 1])
-            for neighbor in runner.graph.adjacency.indices[start:end]:
-                neighbor = int(neighbor)
-                candidate = number + 1
-                current = level_of.get(neighbor)
-                if current is None or candidate < current:
-                    level_of[neighbor] = candidate
-                    next_frontier[neighbor] = candidate
-                elif candidate == current:
-                    # A parent on a shortest path changed, so the child's
-                    # belief needs a refresh even though its level is stable.
-                    next_frontier.setdefault(neighbor, current)
-        if next_frontier:
-            runner.relation_g.upsert(
-                ((node, number) for node, number in sorted(next_frontier.items())),
-                key_columns=("v",))
-        frontier = next_frontier
-    result = runner._result(nodes_updated=nodes_updated)
-    result.extra["rows_processed_update"] = rows_processed
+    beliefs, geodesic, explicit = _materialize_state(runner)
+    stats = repair_added_edges(
+        runner.graph.adjacency, geodesic, beliefs, explicit,
+        runner.coupling.residual,
+        np.array([edge.source for edge in edges], dtype=np.int64),
+        np.array([edge.target for edge in edges], dtype=np.int64))
+    rows_written = _write_back(runner, beliefs, geodesic, stats)
+    result = runner._result(nodes_updated=stats.nodes_updated)
+    result.extra["rows_processed_update"] = stats.edges_touched + rows_written
     return result

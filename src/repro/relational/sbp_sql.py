@@ -51,6 +51,13 @@ class RelationalSBP:
     relation_h: Optional[Table] = None
     #: Number of joined rows processed per frontier iteration.
     rows_processed_per_iteration: List[int] = field(default_factory=list)
+    #: Dense mirrors of the B/G/E relations kept current by the incremental
+    #: updates (:mod:`repro.relational.sbp_incremental`) so repeated ΔSBP
+    #: calls skip re-materialising O(n) state.  Reset by :meth:`run`; code
+    #: that mutates ``relation_b``/``relation_g``/``relation_e`` directly
+    #: must set ``dense_state = None`` to invalidate the mirrors.
+    dense_state: Optional[Dict[str, np.ndarray]] = field(default=None,
+                                                         repr=False)
 
     # ------------------------------------------------------------------ #
     # Algorithm 2: initial belief assignment
@@ -71,6 +78,7 @@ class RelationalSBP:
         self.relation_g.insert_rows((row[0], 0) for row in labeled)
         self.relation_b = self.relation_e.copy("B")
         self.rows_processed_per_iteration = []
+        self.dense_state = None
         # Lines 2-7: frontier expansion until G stops growing.
         iteration = 0
         while True:

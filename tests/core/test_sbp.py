@@ -147,6 +147,22 @@ class TestIncrementalBeliefs:
         with pytest.raises(ValidationError):
             runner.add_explicit_beliefs({0: np.zeros(5)})
 
+    def test_out_of_range_node_rejected_before_any_mutation(self, small_random_workload):
+        """A bad node in a mapping must not corrupt state (negative indices
+        would silently write the wrong belief row, overflowing ones would
+        raise only after earlier entries were applied)."""
+        graph, coupling, explicit = small_random_workload
+        runner = SBP(graph, coupling)
+        runner.run(explicit)
+        before_beliefs = runner.beliefs
+        before_geodesic = runner.geodesic_numbers
+        vector = explicit[np.nonzero(np.any(explicit != 0.0, axis=1))[0][0]]
+        for bad_node in (-1, graph.num_nodes, graph.num_nodes + 5):
+            with pytest.raises(ValidationError):
+                runner.add_explicit_beliefs({0: vector, bad_node: vector})
+            assert np.array_equal(runner.beliefs, before_beliefs)
+            assert np.array_equal(runner.geodesic_numbers, before_geodesic)
+
     def test_reaches_previously_unreachable_nodes(self):
         graph = Graph.from_edges([(0, 1), (2, 3)], num_nodes=4)
         coupling = homophily_matrix(epsilon=0.3)

@@ -129,7 +129,8 @@ class TestPlanCache:
         get_plan(torus_graph(), fraud_matrix(epsilon=0.1))
         clear_plan_cache()
         info = plan_cache_info()
-        assert info == {"size": 0, "binary_size": 0, "hits": 0, "misses": 0}
+        assert info == {"size": 0, "binary_size": 0, "hits": 0, "misses": 0,
+                        "sbp_size": 0, "sbp_hits": 0, "sbp_misses": 0}
 
 
 class TestBinarySolverCache:

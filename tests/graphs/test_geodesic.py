@@ -125,13 +125,58 @@ class TestModifiedAdjacency:
         assert dag[2, 3] == 0.0 and dag[3, 2] == 0.0
 
 
+class TestLevelSlices:
+    def test_slices_cover_every_dag_edge_once(self):
+        from repro.graphs import level_slices
+        levels, slices = level_slices(sbp_example_graph(), [1, 6])
+        dag = modified_adjacency(sbp_example_graph(), [1, 6])
+        assert sum(block.nnz for block in slices) == dag.nnz
+
+    def test_slice_shapes_match_level_widths(self):
+        from repro.graphs import level_slices
+        levels, slices = level_slices(chain_graph(5), [0])
+        assert [block.shape for block in slices] == [(1, 1)] * 4
+
+    def test_sweep_over_slices_reproduces_sbp(self):
+        from repro.coupling import fraud_matrix
+        from repro.graphs import level_slices
+
+        graph = sbp_example_graph()
+        coupling = fraud_matrix()
+        explicit = np.zeros((7, 3))
+        explicit[1] = [0.2, -0.1, -0.1]
+        explicit[6] = [-0.1, -0.1, 0.2]
+        levels, slices = level_slices(graph, [1, 6])
+        beliefs = np.zeros_like(explicit)
+        beliefs[levels.nodes_at(0)] = explicit[levels.nodes_at(0)]
+        previous = beliefs[levels.nodes_at(0)]
+        for level, block in enumerate(slices, start=1):
+            previous = (block @ previous) @ coupling.residual
+            beliefs[levels.nodes_at(level)] = previous
+        from repro.core import sbp
+        assert np.allclose(beliefs, sbp(graph, coupling, explicit).beliefs,
+                           atol=1e-12)
+
+
 class TestShortestPathWeights:
     def test_example_16_path_multiplicity(self):
-        """Example 16: two shortest paths from v2 to v1 and one from v7."""
+        """Example 16: two shortest paths from v2 to v1 and one from v7.
+
+        Regression for the factor-2 case through the sparse per-level
+        rewrite (the pre-refactor lil_matrix implementation is preserved in
+        repro.core._sbp_reference and compared in the property suite).
+        """
         weights = shortest_path_weights(sbp_example_graph(), [1, 6]).toarray()
         # Column 0 corresponds to labeled node v2 (index 1), column 1 to v7.
         assert weights[0, 0] == pytest.approx(2.0)
         assert weights[0, 1] == pytest.approx(1.0)
+
+    def test_example_16_full_matrix_against_reference(self):
+        from repro.core._sbp_reference import reference_shortest_path_weights
+        produced = shortest_path_weights(sbp_example_graph(), [1, 6]).toarray()
+        expected = reference_shortest_path_weights(
+            sbp_example_graph(), [1, 6]).toarray()
+        assert np.allclose(produced, expected, atol=1e-12)
 
     def test_star_graph_single_paths(self):
         weights = shortest_path_weights(star_graph(3), [0]).toarray()
