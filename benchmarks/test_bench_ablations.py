@@ -8,8 +8,6 @@ a homophily-only relational learner.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import attach_table
 from repro.experiments import (
     run_baseline_comparison,

@@ -7,8 +7,6 @@ observation ``ρ(A_edge) + 1 ≈ ρ(A)``.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import attach_table
 from repro.experiments import run_bound_comparison
 

@@ -24,20 +24,24 @@ to 1e-10 at every size.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import List
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import attach_table
 from repro.core.linbp import linbp
 from repro.engine import clear_plan_cache, get_plan, run_batch
 from repro.experiments.runner import ResultTable
 
+#: The CI bench-smoke job (scripts/bench_record.py --smoke) relaxes the
+#: speedup gate: shared runners batch just as well but time noisily.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 NUM_QUERIES = 10
 EPSILON = 0.001
-ASSERTED_SPEEDUP = 2.0
+ASSERTED_SPEEDUP = 1.4 if SMOKE else 2.0
 ASSERTED_INDEX = 1  # the hard ≥2x claim runs on Kronecker graph #1
 
 

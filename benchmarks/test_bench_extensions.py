@@ -7,8 +7,6 @@ maintenance of LinBP (Section 8).
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import attach_table
 from repro.experiments import (
     run_estimated_coupling_experiment,

@@ -7,8 +7,6 @@ fraction grows — both effects are minor, which is the figure's point.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import attach_table
 from repro.experiments import run_explicit_fraction_sweep
 

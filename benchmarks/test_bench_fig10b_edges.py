@@ -7,8 +7,6 @@ and eventually reverses (the paper sees the crossover around 3 %).
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import attach_table
 from repro.experiments import run_incremental_edges
 

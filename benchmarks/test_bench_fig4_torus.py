@@ -8,7 +8,6 @@ scale) and times one full sweep.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import attach_table
 from repro.experiments import run_torus_sweep, torus_reference_values

@@ -7,8 +7,6 @@ reports (BP/LinBP, LinBP/SBP, SBP/ΔSBP).
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import attach_table
 from repro.experiments import run_timing_table
 

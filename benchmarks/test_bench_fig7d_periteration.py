@@ -7,8 +7,6 @@ whole run (rising then falling cost).
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import attach_table
 from repro.experiments import run_per_iteration_timing
 

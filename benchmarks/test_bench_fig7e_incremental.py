@@ -7,8 +7,6 @@ full recomputation.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import attach_table
 from repro.experiments import run_incremental_beliefs
 

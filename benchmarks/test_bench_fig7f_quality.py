@@ -8,7 +8,6 @@ region LinBP reproduces BP's top-belief assignment essentially perfectly
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import attach_table
 from repro.experiments import run_quality_sweep

@@ -8,7 +8,6 @@ precision, as the paper explains).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import attach_table
 from repro.experiments import run_quality_sweep

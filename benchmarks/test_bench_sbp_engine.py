@@ -21,11 +21,11 @@ bought with a numerically different algorithm.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, List
+from typing import List
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import attach_table
 from repro.core import SBP
@@ -39,13 +39,18 @@ from repro.engine import clear_plan_cache, get_sbp_plan, run_sbp_batch
 from repro.experiments.runner import ResultTable
 from repro.graphs import grid_graph
 
-GRID_SIDE = 224               # 224 x 224 = 50 176 nodes (>= 50 k requirement)
+#: ``REPRO_BENCH_SMOKE=1`` (the CI bench-smoke job) shrinks the grids and
+#: relaxes the speedup gates: shared runners vectorise just as well but
+#: time far too noisily for the tight laptop-calibrated thresholds.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+GRID_SIDE = 64 if SMOKE else 224   # 224 x 224 = 50 176 nodes (>= 50 k)
 EXPLICIT_FRACTION = 0.01
 UPDATE_FRACTION = 0.002
-RUN_UPDATE_SPEEDUP = 5.0
+RUN_UPDATE_SPEEDUP = 2.0 if SMOKE else 5.0
 BATCH_QUERIES = 10
-BATCH_GRID_SIDE = 60          # deep levels, overhead-bound regime
-BATCH_SPEEDUP = 2.0
+BATCH_GRID_SIDE = 40 if SMOKE else 60  # deep levels, overhead-bound regime
+BATCH_SPEEDUP = 1.3 if SMOKE else 2.0
 
 
 def _grid_workload(side: int, seed: int = 0):

@@ -18,11 +18,7 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import convergence, linbp
-from repro.coupling import fraud_matrix
-from repro.datasets import kronecker_suite
 from repro.experiments import run_bound_comparison, torus_workload
 
 

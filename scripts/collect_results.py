@@ -11,8 +11,6 @@ Run with::
 """
 
 from __future__ import annotations
-
-import json
 import sys
 import time
 from pathlib import Path

@@ -15,6 +15,9 @@ The package implements, from scratch and on top of ``numpy``/``scipy`` only:
   (:mod:`repro.engine`);
 * an in-memory relational engine plus the paper's SQL-style implementations
   of LinBP and SBP (:mod:`repro.relational`);
+* a thread-safe propagation *service* that fronts both engines: versioned
+  graph snapshots, micro-batched concurrent queries, TTL+LRU result
+  caching and a ``repro serve`` line protocol (:mod:`repro.service`);
 * graph substrates, coupling-matrix handling, datasets, quality metrics, and
   one experiment module per table/figure of the paper
   (:mod:`repro.experiments`).
@@ -72,8 +75,9 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.graphs import Edge, Graph
+from repro.service import PropagationService, ServiceHarness
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -112,4 +116,6 @@ __all__ = [
     "ValidationError",
     "Edge",
     "Graph",
+    "PropagationService",
+    "ServiceHarness",
 ]

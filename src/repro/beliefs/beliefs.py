@@ -20,7 +20,7 @@ views; :func:`explicit_beliefs_from_labels` builds priors from hard labels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import List, Mapping, Set
 
 import numpy as np
 

@@ -15,6 +15,12 @@ The CLI mirrors how the paper's artifacts would be used from a shell:
     Re-run one of the paper's experiments (Fig. 4, Fig. 6a, Fig. 7a–g,
     Fig. 10, Fig. 11, Appendix G) and print the resulting table.
 
+``python -m repro serve``
+    Run the propagation service: JSON requests (one per line, over stdin
+    or TCP), plain-text responses.  Concurrent queries against one graph
+    are micro-batched through the engine (see
+    :mod:`repro.service.protocol` for the operations).
+
 Every command works on plain text files and prints plain text, so results can
 be piped into other tools.
 """
@@ -25,7 +31,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -137,6 +143,33 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import LineProtocolServer, ServiceSession, serve_stream
+
+    session = ServiceSession(
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        result_cache_size=args.result_cache_size,
+        result_ttl_seconds=args.result_ttl if args.result_ttl > 0 else None,
+    )
+    if args.port is None:
+        print("repro serve: reading JSON requests from stdin "
+              "(one per line; {\"op\": \"shutdown\"} to stop)",
+              file=sys.stderr)
+        serve_stream(session, sys.stdin, sys.stdout)
+        return 0
+    server = LineProtocolServer((args.host, args.port), session)
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on {host}:{port}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -181,6 +214,25 @@ def build_parser() -> argparse.ArgumentParser:
                             help="which table/figure to regenerate")
     experiment.add_argument("--output", type=Path, default=None)
     experiment.set_defaults(handler=_command_experiment)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the propagation service (JSON line protocol)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port to listen on (0 = pick a free port; "
+                            "default: serve stdin/stdout)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port (default: 127.0.0.1)")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batching collection window in ms "
+                            "(0 disables coalescing; default: 2)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="dispatch a batch early at this size (default: 16)")
+    serve.add_argument("--result-ttl", type=float, default=300.0,
+                       help="result cache TTL in seconds (0 = no expiry; "
+                            "default: 300)")
+    serve.add_argument("--result-cache-size", type=int, default=256,
+                       help="result cache LRU capacity (default: 256)")
+    serve.set_defaults(handler=_command_serve)
     return parser
 
 

@@ -18,7 +18,7 @@ It exists for two reasons and must not be used by production code paths:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping
 
 import numpy as np
 import scipy.sparse as sp
@@ -275,7 +275,6 @@ class ReferenceSBP:
         beliefs[node] = accumulated @ residual
 
     def _normalize_updates(self, new_residuals) -> Dict[int, np.ndarray]:
-        k = self.coupling.num_classes
         updates: Dict[int, np.ndarray] = {}
         if isinstance(new_residuals, Mapping):
             for node, vector in new_residuals.items():

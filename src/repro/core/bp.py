@@ -24,7 +24,7 @@ log-space for numerical robustness (messages are strictly positive).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -32,7 +32,6 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.coupling.matrices import CouplingMatrix
-from repro.exceptions import ValidationError
 from repro.graphs import linalg
 from repro.graphs.graph import Graph
 

@@ -31,6 +31,7 @@ from typing import Iterable, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.coupling.matrices import CouplingMatrix
+from repro.core.events import UpdateNotifier
 from repro.core.linbp import LinBP
 from repro.core.results import PropagationResult
 from repro.exceptions import ValidationError
@@ -39,7 +40,7 @@ from repro.graphs.graph import Edge, Graph
 __all__ = ["IncrementalLinBP"]
 
 
-class IncrementalLinBP:
+class IncrementalLinBP(UpdateNotifier):
     """Maintain a LinBP solution under label and edge updates.
 
     Parameters
@@ -103,6 +104,7 @@ class IncrementalLinBP:
         result = self._solver.run(explicit)
         self._explicit = explicit.copy()
         self._beliefs = result.beliefs.copy()
+        self._notify_update("run", self._method_name())
         return self._package(result, update_iterations=result.iterations)
 
     # ------------------------------------------------------------------ #
@@ -123,31 +125,48 @@ class IncrementalLinBP:
         correction = self._solver.run(delta)
         self._explicit = self._explicit + delta
         self._beliefs = self._beliefs + correction.beliefs
+        self._notify_update("explicit_beliefs", self._method_name(),
+                            nodes_updated=int(np.count_nonzero(
+                                np.any(delta != 0.0, axis=1))))
         return self._package_current(update_iterations=correction.iterations,
                                      converged=correction.converged)
 
     # ------------------------------------------------------------------ #
     # incremental edge updates (warm start)
     # ------------------------------------------------------------------ #
-    def add_edges(self, new_edges: Iterable[Tuple[int, int] | Tuple[int, int, float] | Edge]) -> PropagationResult:
-        """Add edges and repair the solution by warm-started iteration."""
+    def add_edges(self, new_edges: Iterable[Tuple[int, int] | Tuple[int, int, float] | Edge],
+                  updated_graph: Optional[Graph] = None) -> PropagationResult:
+        """Add edges and repair the solution by warm-started iteration.
+
+        ``updated_graph`` may supply the prebuilt successor graph (it must
+        equal ``self.graph.with_edges_added(new_edges)``); the propagation
+        service passes it so every maintained view shares one graph object
+        — and therefore one cached engine plan — with the snapshot.
+        """
         self._require_state()
         edges = list(new_edges)
         if not edges:
             return self._package_current(update_iterations=0)
-        new_graph = self.graph.with_edges_added(edges)
+        new_graph = updated_graph if updated_graph is not None \
+            else self.graph.with_edges_added(edges)
         self._solver = LinBP(new_graph, self.coupling,
                              echo_cancellation=self.echo_cancellation,
                              max_iterations=self.max_iterations,
                              tolerance=self.tolerance)
         warm = self._solver.run(self._explicit, initial_beliefs=self._beliefs)
         self._beliefs = warm.beliefs.copy()
+        self._notify_update("edges", self._method_name(),
+                            num_edges=len(edges))
         return self._package_current(update_iterations=warm.iterations,
                                      converged=warm.converged)
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _method_name(self) -> str:
+        return "LinBP (incremental)" if self.echo_cancellation \
+            else "LinBP* (incremental)"
+
     def _require_state(self) -> None:
         if self._beliefs is None or self._explicit is None:
             raise ValidationError("call run() before incremental updates")

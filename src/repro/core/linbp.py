@@ -40,7 +40,7 @@ from repro.coupling.matrices import CouplingMatrix
 from repro.core.results import PropagationResult
 from repro.engine import batch as engine_batch
 from repro.engine import plan as engine_plan
-from repro.exceptions import NotConvergentParametersError, ValidationError
+from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
 
 __all__ = ["LinBP", "linbp", "linbp_star", "linbp_closed_form"]

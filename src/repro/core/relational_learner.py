@@ -18,8 +18,6 @@ that wvRN matches LinBP/SBP under homophily and breaks down under heterophily
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.beliefs.beliefs import center_probability_matrix, uncenter_residual_matrix

@@ -39,6 +39,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.coupling.matrices import CouplingMatrix
+from repro.core.events import UpdateNotifier
 from repro.core.results import PropagationResult
 from repro.engine import sbp_plan as engine_sbp
 from repro.exceptions import ValidationError
@@ -47,7 +48,7 @@ from repro.graphs.graph import Edge, Graph
 __all__ = ["SBP", "sbp"]
 
 
-class SBP:
+class SBP(UpdateNotifier):
     """Single-pass BP runner with incremental update support.
 
     Parameters
@@ -93,6 +94,7 @@ class SBP:
         self._geodesic = plan.geodesic_numbers.copy()
         self._beliefs = beliefs
         self._explicit = explicit.copy()
+        self._notify_update("run", "SBP")
         return self._result(edges_touched=edges_touched)
 
     # ------------------------------------------------------------------ #
@@ -126,31 +128,47 @@ class SBP:
         stats = engine_sbp.repair_explicit_beliefs(
             self.graph.adjacency, self._geodesic, self._beliefs,
             self._explicit, self._residual, nodes, vectors)
+        self._notify_update("explicit_beliefs", "SBP",
+                            nodes_updated=stats.nodes_updated,
+                            num_labels=len(updates))
         return self._result(edges_touched=stats.edges_touched,
                             nodes_updated=stats.nodes_updated)
 
     # ------------------------------------------------------------------ #
     # incremental update: new edges (Algorithm 4)
     # ------------------------------------------------------------------ #
-    def add_edges(self, new_edges: Iterable[Tuple[int, int] | Tuple[int, int, float] | Edge]) -> PropagationResult:
+    def add_edges(self, new_edges: Iterable[Tuple[int, int] | Tuple[int, int, float] | Edge],
+                  updated_graph: Optional[Graph] = None) -> PropagationResult:
         """Incorporate new edges without a full re-run (Algorithm 4).
 
         The graph held by this instance is replaced by a new :class:`Graph`
         containing the added edges; geodesic numbers and beliefs are then
         repaired outwards from the "seed" endpoints whose geodesic number (or
         belief) the new edges change.
+
+        ``updated_graph`` may supply the successor graph directly when the
+        caller already built ``self.graph.with_edges_added(new_edges)`` —
+        the propagation service does this so every maintained view and the
+        service snapshot share *one* graph object (and therefore one set of
+        cached engine plans) instead of each rebuilding an identical copy.
+        It must equal exactly that successor; passing anything else breaks
+        the repair's invariants.
         """
         self._require_state()
         edges = self._normalize_edges(new_edges)
         if not edges:
             return self._result(edges_touched=0, nodes_updated=0)
         # Line 1: update the adjacency matrix.
-        self.graph = self.graph.with_edges_added(edges)
+        self.graph = updated_graph if updated_graph is not None \
+            else self.graph.with_edges_added(edges)
         sources = np.array([edge.source for edge in edges], dtype=np.int64)
         targets = np.array([edge.target for edge in edges], dtype=np.int64)
         stats = engine_sbp.repair_added_edges(
             self.graph.adjacency, self._geodesic, self._beliefs,
             self._explicit, self._residual, sources, targets)
+        self._notify_update("edges", "SBP",
+                            nodes_updated=stats.nodes_updated,
+                            num_edges=len(edges))
         return self._result(edges_touched=stats.edges_touched,
                             nodes_updated=stats.nodes_updated)
 

@@ -15,7 +15,7 @@ scalability experiment consumes the same workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -15,12 +15,11 @@ repeatable.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import DatasetError
-from repro.graphs.graph import Graph
 
 __all__ = [
     "belief_value_grid",

@@ -25,6 +25,8 @@ multi-RHS solve).
 
 from __future__ import annotations
 
+import threading
+import time
 import weakref
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
@@ -39,7 +41,7 @@ from repro.graphs.graph import Graph
 
 __all__ = ["PropagationPlan", "GraphKeyedCache", "get_plan",
            "get_binary_solver", "clear_plan_cache", "plan_cache_info",
-           "register_auxiliary_cache"]
+           "register_auxiliary_cache", "coupling_key"]
 
 #: Maximum number of cached propagation plans / binary factorisations.
 PLAN_CACHE_SIZE = 32
@@ -158,7 +160,7 @@ class PropagationPlan:
 # the plan cache
 # ---------------------------------------------------------------------- #
 class GraphKeyedCache:
-    """Bounded LRU of per-graph artifacts, shared by every engine cache.
+    """Bounded, thread-safe LRU of per-graph artifacts (optionally TTL'd).
 
     Keys hold ``id(graph)`` plus a caller-supplied suffix; entries also
     hold a weakref to the graph to verify that the id was not recycled by
@@ -167,50 +169,82 @@ class GraphKeyedCache:
     as their graph is garbage collected (the bounded LRU additionally
     caps how many values survive for long-lived graphs).  ``lookup``
     counts hits/misses; ``store`` inserts and trims.
+
+    All operations take an internal re-entrant lock, so one cache may be
+    shared by many threads (the propagation service's coalescer hits the
+    plan and result caches concurrently).  The weakref eviction callback
+    acquires the same lock; because it is re-entrant, a collection
+    triggered *inside* a cache method cannot deadlock.
+
+    ``ttl_seconds`` (optional) gives every entry a fixed lifetime from its
+    last ``store``: expired entries behave as misses and are dropped on
+    access.  ``clock`` is injectable for tests and must be monotonic.
     """
 
-    def __init__(self, max_size: int):
+    def __init__(self, max_size: int, ttl_seconds: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
         self._max_size = max_size
-        self._entries: "OrderedDict[tuple, Tuple[weakref.ref, object]]" = \
-            OrderedDict()
-        self.stats = {"hits": 0, "misses": 0}
+        self._ttl = float(ttl_seconds) if ttl_seconds is not None else None
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._entries: \
+            "OrderedDict[tuple, Tuple[weakref.ref, object, Optional[float]]]" \
+            = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "expired": 0}
 
     def lookup(self, graph: Graph, key_suffix: tuple):
         key = (id(graph),) + key_suffix
-        entry = self._entries.get(key)
-        if entry is not None:
-            graph_ref, value = entry
-            if graph_ref() is graph:
-                self._entries.move_to_end(key)
-                self.stats["hits"] += 1
-                return value
-            # id() was recycled by a new object; discard the stale entry.
-            del self._entries[key]
-        self.stats["misses"] += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                graph_ref, value, expires_at = entry
+                if graph_ref() is not graph:
+                    # id() was recycled by a new object; drop the stale entry.
+                    del self._entries[key]
+                elif expires_at is not None and self._clock() >= expires_at:
+                    del self._entries[key]
+                    self.stats["expired"] += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats["hits"] += 1
+                    return value
+            self.stats["misses"] += 1
+            return None
 
     def store(self, graph: Graph, key_suffix: tuple, value) -> None:
         key = (id(graph),) + key_suffix
 
         def _evict(_ref, key=key):
-            self._entries.pop(key, None)
+            with self._lock:
+                self._entries.pop(key, None)
 
-        self._entries[key] = (weakref.ref(graph, _evict), value)
-        while len(self._entries) > self._max_size:
-            self._entries.popitem(last=False)
+        expires_at = self._clock() + self._ttl if self._ttl is not None else None
+        with self._lock:
+            self._entries[key] = (weakref.ref(graph, _evict), value, expires_at)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = {"hits": 0, "misses": 0}
+        with self._lock:
+            self._entries.clear()
+            self.stats = {"hits": 0, "misses": 0, "expired": 0}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 _plan_cache = GraphKeyedCache(PLAN_CACHE_SIZE)
 
 
-def _coupling_key(coupling: CouplingMatrix) -> Tuple[float, bytes]:
+def coupling_key(coupling: CouplingMatrix) -> Tuple[float, bytes]:
+    """Hashable value identity of a coupling matrix (scale + residual bytes).
+
+    Used as a cache-key component wherever "same coupling" must mean
+    *same values*, not same object: the plan cache below and the
+    propagation service's batching/result keys.
+    """
     residual = np.ascontiguousarray(coupling.unscaled_residual)
     return float(coupling.epsilon), residual.tobytes()
 
@@ -225,7 +259,7 @@ def get_plan(graph: Graph, coupling: CouplingMatrix,
     plan; the stale plan ages out of the bounded LRU (at most
     ``PLAN_CACHE_SIZE`` plans are retained, least recently used first).
     """
-    key_suffix = (bool(echo_cancellation),) + _coupling_key(coupling)
+    key_suffix = (bool(echo_cancellation),) + coupling_key(coupling)
     plan = _plan_cache.lookup(graph, key_suffix)
     if plan is None:
         plan = PropagationPlan(graph, coupling,

@@ -17,12 +17,11 @@ Three ablations accompany the paper's main results:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.beliefs.beliefs import BeliefMatrix
-from repro.coupling.matrices import CouplingMatrix
 from repro.coupling.presets import general_heterophily, general_homophily
 from repro.core.bp import belief_propagation
 from repro.core.linbp import LinBP, linbp, linbp_closed_form, linbp_star
@@ -30,7 +29,6 @@ from repro.core.relational_learner import weighted_vote_relational_neighbor
 from repro.core.sbp import sbp
 from repro.datasets.kronecker_suite import kronecker_suite
 from repro.experiments.runner import ResultTable, timed
-from repro.graphs.generators import random_graph
 from repro.graphs.graph import Graph
 from repro.metrics.quality import labeling_accuracy, precision_recall
 

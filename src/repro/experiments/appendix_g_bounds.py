@@ -15,8 +15,6 @@ suite and reports the largest admissible ``ε_H`` under each criterion.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
-
 import numpy as np
 
 from repro.core.convergence import (

@@ -15,12 +15,11 @@ do for the real data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.bp import belief_propagation
-from repro.core.convergence import max_epsilon_exact
 from repro.core.linbp import linbp, linbp_star
 from repro.core.sbp import sbp
 from repro.datasets.dblp import DblpLikeDataset, generate_dblp_like

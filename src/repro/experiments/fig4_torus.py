@@ -17,9 +17,7 @@ quantities quoted in Example 20 so tests can assert them.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -9,9 +9,7 @@ by default; see DESIGN.md for the substitution note).
 
 from __future__ import annotations
 
-from typing import List
-
-from repro.datasets.kronecker_suite import SyntheticWorkload, kronecker_suite
+from repro.datasets.kronecker_suite import kronecker_suite
 from repro.experiments.runner import ResultTable
 
 __all__ = ["run_dataset_table"]

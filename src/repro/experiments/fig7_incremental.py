@@ -19,9 +19,7 @@ Python interpretation overhead.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from repro.core.sbp import SBP
 from repro.datasets.kronecker_suite import kronecker_suite

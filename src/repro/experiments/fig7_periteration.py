@@ -14,11 +14,9 @@ explanation for the shape of the curves).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import List
 
 import numpy as np
-
-from repro.core.sbp import SBP
 from repro.datasets.kronecker_suite import kronecker_suite
 from repro.engine import BatchWorkspace, get_plan
 from repro.experiments.runner import ResultTable

@@ -17,7 +17,7 @@ sweeps the coupling scale:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

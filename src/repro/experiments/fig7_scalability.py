@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.bp import belief_propagation
 from repro.core.linbp import linbp
 from repro.core.sbp import SBP

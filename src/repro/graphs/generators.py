@@ -16,10 +16,9 @@ star, complete, random) that the tests and examples rely on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph

@@ -17,7 +17,7 @@ methods predict singleton sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Optional, Sequence, Set
 
 import numpy as np
 

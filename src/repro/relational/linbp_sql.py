@@ -22,7 +22,7 @@ relations (the V2 contribution negated) followed by a grouping on ``(v, c)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import List, Optional
 
 import numpy as np
 

@@ -133,6 +133,9 @@ def add_explicit_beliefs_sql(runner: RelationalSBP,
         runner.coupling.residual, nodes, matrix[nodes])
     runner.relation_e.upsert(relation_en.rows, key_columns=("v", "c"))
     rows_written = _write_back(runner, beliefs, geodesic, stats)
+    runner._notify_update("explicit_beliefs", "SBP (SQL)",
+                          nodes_updated=stats.nodes_updated,
+                          num_labels=int(nodes.size))
     result = runner._result(nodes_updated=stats.nodes_updated)
     result.extra["rows_processed_update"] = stats.edges_touched + rows_written
     return result
@@ -167,6 +170,9 @@ def add_edges_sql(runner: RelationalSBP,
         np.array([edge.source for edge in edges], dtype=np.int64),
         np.array([edge.target for edge in edges], dtype=np.int64))
     rows_written = _write_back(runner, beliefs, geodesic, stats)
+    runner._notify_update("edges", "SBP (SQL)",
+                          nodes_updated=stats.nodes_updated,
+                          num_edges=len(edges))
     result = runner._result(nodes_updated=stats.nodes_updated)
     result.extra["rows_processed_update"] = stats.edges_touched + rows_written
     return result

@@ -17,11 +17,12 @@ The iteration stops when no new node is added to ``G``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.coupling.matrices import CouplingMatrix
+from repro.core.events import UpdateNotifier
 from repro.core.results import PropagationResult
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
@@ -33,12 +34,14 @@ __all__ = ["RelationalSBP", "sbp_sql"]
 
 
 @dataclass
-class RelationalSBP:
+class RelationalSBP(UpdateNotifier):
     """SBP runner over the relational engine (Algorithms 2 and 3).
 
     After :meth:`run`, the relations ``A``, ``B``, ``G``, ``E`` and ``H`` are
     kept on the instance so that the incremental update methods in
-    :mod:`repro.relational.sbp_incremental` can continue from them.
+    :mod:`repro.relational.sbp_incremental` can continue from them.  Like
+    the in-memory runners, it notifies registered update hooks
+    (:class:`repro.core.events.UpdateNotifier`) after every mutation.
     """
 
     graph: Graph

@@ -16,7 +16,7 @@ Fig. 9b.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Set
 
 import numpy as np
 

@@ -1,0 +1,42 @@
+"""The propagation service: batch kernels turned into a traffic-serving layer.
+
+The paper's pitch is that linearized BP is cheap enough to run *as a
+service* over standard infrastructure (Section 5.3).  This package is
+that layer for the reproduction:
+
+* :mod:`repro.service.service` — :class:`PropagationService`: versioned
+  graph snapshots (mutations ride the existing ΔSBP / incremental-LinBP
+  paths and bump a snapshot id), maintained views, a TTL+LRU result
+  cache, and coalesced one-shot queries;
+* :mod:`repro.service.coalescer` — :class:`MicroBatcher`, the
+  leader/follower micro-batching primitive that turns concurrent
+  single-query traffic into stacked :func:`repro.engine.batch.run_batch`
+  / :func:`repro.engine.sbp_plan.run_sbp_batch` calls;
+* :mod:`repro.service.protocol` / :mod:`repro.service.server` — the
+  ``repro serve`` line protocol (JSON requests, plain-text responses)
+  over stdin or TCP;
+* :mod:`repro.service.harness` — :class:`ServiceHarness`, the
+  closed-loop client driver used by the service benchmark and the
+  equivalence tests.
+
+See ``docs/performance.md`` for the serving guide and
+``benchmarks/test_bench_service.py`` for the coalescing throughput
+claim (≥ 2× one-query-at-a-time at 16 concurrent clients).
+"""
+
+from repro.service.coalescer import MicroBatcher
+from repro.service.harness import HarnessRun, ServiceHarness
+from repro.service.protocol import ServiceSession
+from repro.service.server import LineProtocolServer, serve_stream
+from repro.service.service import GraphSnapshot, PropagationService
+
+__all__ = [
+    "MicroBatcher",
+    "HarnessRun",
+    "ServiceHarness",
+    "ServiceSession",
+    "LineProtocolServer",
+    "serve_stream",
+    "GraphSnapshot",
+    "PropagationService",
+]

@@ -1,0 +1,148 @@
+"""Micro-batching coalescer: many concurrent requests, one stacked call.
+
+The batched engine entry points (:func:`repro.engine.batch.run_batch`,
+:func:`repro.engine.sbp_plan.run_sbp_batch`) amortise the sparse-matrix
+traversal over every query in a batch — but they need a *batch* to work
+on, and independent clients submit one query at a time.  The
+:class:`MicroBatcher` closes that gap: concurrent submissions that share
+a *batch key* (same graph snapshot, coupling values and solver
+parameters) within a short collection window are dispatched together as
+one stacked call, and each submitter receives exactly its own result.
+
+The design is leader-based and lock-light:
+
+* the **first** submitter for a key becomes the batch *leader*: it
+  registers a pending batch, waits up to ``window_seconds`` for
+  followers, then closes the batch, runs the supplied batch function
+  once, and publishes the results;
+* **followers** append their item to the pending batch and block on the
+  batch's completion event — they never touch the engine;
+* a batch is dispatched *early* as soon as it reaches ``max_batch``
+  items, so saturated closed-loop traffic never pays the window latency.
+
+The batch function is called with the items in submission order and must
+return one result per item, in the same order; this is exactly the
+contract of the engine's ``run_batch``/``run_sbp_batch``, whose results
+are equivalent to sequential per-query calls (the tests assert the
+1e-10 agreement through the full service stack).  If the batch function
+raises, every member of the batch observes the same exception.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, List, Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["MicroBatcher"]
+
+
+class _PendingBatch:
+    """One in-flight batch: items, synchronisation events, outcome."""
+
+    __slots__ = ("items", "results", "error", "done", "full", "closed")
+
+    def __init__(self):
+        self.items: List[object] = []
+        self.results: Sequence[object] = ()
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+        self.full = threading.Event()
+        #: Once True, late submitters must start a fresh batch.
+        self.closed = False
+
+
+class MicroBatcher:
+    """Coalesce concurrent same-key submissions into single batched calls.
+
+    Parameters
+    ----------
+    window_seconds:
+        How long a batch leader waits for followers before dispatching.
+        ``0`` disables coalescing (every request dispatches immediately,
+        still through the same code path — useful as a baseline).
+    max_batch:
+        Dispatch early once this many requests joined one batch.
+
+    Notes
+    -----
+    The instance is thread-safe; ``stats`` is a plain dict updated under
+    the internal lock (read it without the lock only for monitoring).
+    """
+
+    def __init__(self, window_seconds: float = 0.002, max_batch: int = 16):
+        if window_seconds < 0:
+            raise ValidationError("window_seconds must be >= 0")
+        if max_batch < 1:
+            raise ValidationError("max_batch must be >= 1")
+        self.window_seconds = float(window_seconds)
+        self.max_batch = int(max_batch)
+        self._lock = threading.Lock()
+        self._pending: Dict[Hashable, _PendingBatch] = {}
+        self.stats = {"requests": 0, "batches": 0,
+                      "coalesced_requests": 0, "largest_batch": 0}
+
+    def submit(self, key: Hashable, item: object,
+               run: Callable[[List[object]], Sequence[object]]) -> object:
+        """Submit one item; block until its result is available.
+
+        ``run`` is the batch function used *if this submission ends up
+        leading a batch*; all submissions sharing a key must pass
+        functions that agree on semantics (in the service, the key
+        derives from the same parameters the function closes over).
+        Returns this item's result, raises what ``run`` raised.
+        """
+        with self._lock:
+            self.stats["requests"] += 1
+            batch = self._pending.get(key)
+            if batch is None or batch.closed:
+                batch = _PendingBatch()
+                self._pending[key] = batch
+                leader = True
+            else:
+                leader = False
+            index = len(batch.items)
+            batch.items.append(item)
+            if len(batch.items) >= self.max_batch:
+                batch.closed = True
+                batch.full.set()
+        if not leader:
+            batch.done.wait()
+            if batch.error is not None:
+                raise batch.error
+            return batch.results[index]
+        # From the moment the batch is registered, the leader owes its
+        # followers a completion signal: everything up to and including
+        # the dispatch runs under one try/finally, so even an exception
+        # raised *while waiting* (e.g. a KeyboardInterrupt delivered to
+        # the leader thread) can never strand followers on done.wait().
+        try:
+            if self.window_seconds > 0 and self.max_batch > 1:
+                batch.full.wait(self.window_seconds)
+            with self._lock:
+                batch.closed = True
+                if self._pending.get(key) is batch:
+                    del self._pending[key]
+                items = list(batch.items)
+                self.stats["batches"] += 1
+                if len(items) > 1:
+                    self.stats["coalesced_requests"] += len(items)
+                if len(items) > self.stats["largest_batch"]:
+                    self.stats["largest_batch"] = len(items)
+            results = run(items)
+            if len(results) != len(items):
+                raise ValidationError(
+                    f"batch function returned {len(results)} results "
+                    f"for {len(items)} items")
+            batch.results = results
+        except BaseException as exc:
+            batch.error = exc
+            raise
+        finally:
+            with self._lock:
+                batch.closed = True
+                if self._pending.get(key) is batch:
+                    del self._pending[key]
+            batch.done.set()
+        return results[index]

@@ -1,0 +1,293 @@
+"""Line protocol of ``repro serve``: JSON requests, plain-text responses.
+
+One request per line, encoded as a JSON object with an ``"op"`` field;
+one response per line, plain text, starting with ``ok`` or ``error`` —
+the same pipe-friendly convention as the rest of the CLI.  The protocol
+is transport-agnostic: the stdin loop and the TCP server in
+:mod:`repro.service.server` both feed lines through one shared
+:class:`ServiceSession` (so graphs loaded by one TCP client are visible
+to every other client, which is what makes cross-client coalescing
+possible).
+
+Operations::
+
+    {"op": "load_graph", "name": "g", "edges": [[0, 1], [1, 2, 0.5]]}
+    {"op": "load_coupling", "name": "h", "stochastic": [[0.8, 0.2], [0.2, 0.8]],
+     "epsilon": 0.3}
+    {"op": "query", "graph": "g", "coupling": "h", "method": "linbp",
+     "beliefs": [[0, 0, 0.1], [2, 1, 0.1]]}
+    {"op": "view", "graph": "g", "name": "fraud", "coupling": "h",
+     "method": "sbp", "beliefs": [[0, 0, 0.1]]}
+    {"op": "read_view", "graph": "g", "name": "fraud"}
+    {"op": "update", "graph": "g", "edges": [[2, 3]],
+     "beliefs": [[3, 1, 0.1]]}
+    {"op": "stats"}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+Belief lists use the relational ``E(v, c, b)`` row layout of Section 5.3:
+``[node, class, value]`` triples.  Query responses report the top label
+per labeled node (``labels=node:class,...``, truncated at ``"limit"``,
+default 10; ``0`` means all); pass ``"return_beliefs": true`` for the raw
+residual belief rows instead.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.coupling.matrices import CouplingMatrix
+from repro.exceptions import ReproError, ValidationError
+from repro.graphs.graph import Graph
+from repro.service.service import PropagationService
+
+__all__ = ["ServiceSession"]
+
+#: Default number of per-node entries echoed by query/read_view responses.
+DEFAULT_LIMIT = 10
+
+
+def _truncate(entries: list, limit: int) -> str:
+    """Join entries, marking truncation only when entries were dropped."""
+    if not entries:
+        return "-"
+    if limit and len(entries) > limit:
+        return ",".join(entries[:limit] + ["..."])
+    return ",".join(entries)
+
+
+def _format_labels(result, coupling: CouplingMatrix, limit: int) -> str:
+    labels = result.hard_labels()
+    shown = [f"{node}:{coupling.name_of(int(labels[node]))}"
+             for node in range(labels.shape[0]) if labels[node] >= 0]
+    return _truncate(shown, limit)
+
+
+def _format_beliefs(result, limit: int) -> str:
+    rows = [f"{node}:" + "|".join(f"{value:.6g}" for value in row)
+            for node, row in enumerate(result.beliefs) if np.any(row != 0.0)]
+    if not rows:
+        return "-"
+    if limit and len(rows) > limit:
+        return ";".join(rows[:limit] + ["..."])
+    return ";".join(rows)
+
+
+def _belief_matrix(triples, num_nodes: int, num_classes: int) -> np.ndarray:
+    matrix = np.zeros((num_nodes, num_classes))
+    for triple in triples:
+        if len(triple) != 3:
+            raise ValidationError(
+                "beliefs must be [node, class, value] triples")
+        node, klass, value = int(triple[0]), int(triple[1]), float(triple[2])
+        if not 0 <= node < num_nodes:
+            raise ValidationError(f"node {node} out of range [0, {num_nodes})")
+        if not 0 <= klass < num_classes:
+            raise ValidationError(
+                f"class {klass} out of range [0, {num_classes})")
+        matrix[node, klass] = value
+    return matrix
+
+
+class ServiceSession:
+    """Protocol state shared by every connection of one ``repro serve``.
+
+    Holds the :class:`PropagationService` plus the named coupling
+    registry (couplings are value objects, not graph state, so they live
+    at the protocol layer).  All methods are thread-safe; the TCP server
+    calls :meth:`handle_line` from one thread per connection.
+    """
+
+    def __init__(self, service: Optional[PropagationService] = None,
+                 **service_options):
+        self.service = service if service is not None \
+            else PropagationService(**service_options)
+        self._couplings: Dict[str, CouplingMatrix] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # registries
+    # ------------------------------------------------------------------ #
+    def coupling(self, name: str) -> CouplingMatrix:
+        with self._lock:
+            coupling = self._couplings.get(name)
+        if coupling is None:
+            raise ValidationError(f"unknown coupling {name!r}")
+        return coupling
+
+    # ------------------------------------------------------------------ #
+    # the dispatcher
+    # ------------------------------------------------------------------ #
+    def handle_line(self, line: str) -> Tuple[str, bool]:
+        """Process one request line; return ``(response, keep_running)``."""
+        line = line.strip()
+        if not line:
+            return "error empty request", True
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as error:
+            return f"error invalid JSON: {error.msg}", True
+        if not isinstance(request, dict) or "op" not in request:
+            return "error request must be a JSON object with an 'op' field", \
+                True
+        op = str(request["op"])
+        handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+        if handler is None:
+            return f"error unknown op {op!r}", True
+        try:
+            return handler(request)
+        except KeyError as error:
+            return f"error missing field {error.args[0]!r}", True
+        except (ReproError, TypeError, OverflowError, ValueError) as error:
+            return f"error {error}", True
+        except Exception as error:
+            # One response per request, whatever happens: a handler bug must
+            # not kill the connection thread (TCP) or the serve loop (stdin)
+            # without a reply line.
+            return f"error internal: {type(error).__name__}: {error}", True
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+    def _op_load_graph(self, request: dict) -> Tuple[str, bool]:
+        name = str(request["name"])
+        graph = Graph.from_edges(
+            [tuple(edge) for edge in request["edges"]],
+            num_nodes=request.get("num_nodes"))
+        snapshot = self.service.register_graph(name, graph)
+        return (f"ok graph name={name} nodes={graph.num_nodes} "
+                f"edges={graph.num_edges} version={snapshot.version}"), True
+
+    def _op_load_coupling(self, request: dict) -> Tuple[str, bool]:
+        name = str(request["name"])
+        epsilon = float(request.get("epsilon", 1.0))
+        class_names = request.get("classes")
+        if "residual" in request:
+            coupling = CouplingMatrix.from_residual(
+                np.asarray(request["residual"], dtype=float),
+                epsilon=epsilon, class_names=class_names)
+        elif "stochastic" in request:
+            coupling = CouplingMatrix.from_stochastic(
+                np.asarray(request["stochastic"], dtype=float),
+                epsilon=epsilon, class_names=class_names)
+        else:
+            raise ValidationError(
+                "load_coupling needs a 'residual' or 'stochastic' matrix")
+        with self._lock:
+            self._couplings[name] = coupling
+        return f"ok coupling name={name} classes={coupling.num_classes}", True
+
+    def _op_query(self, request: dict) -> Tuple[str, bool]:
+        graph_name = str(request["graph"])
+        coupling = self.coupling(str(request["coupling"]))
+        snapshot = self.service.snapshot(graph_name)
+        explicit = _belief_matrix(request["beliefs"],
+                                  snapshot.graph.num_nodes,
+                                  coupling.num_classes)
+        num_iterations = request.get("num_iterations")
+        result = self.service.query(
+            graph_name, coupling, explicit,
+            method=str(request.get("method", "linbp")),
+            max_iterations=int(request.get("max_iterations", 100)),
+            tolerance=float(request.get("tolerance", 1e-10)),
+            num_iterations=None if num_iterations is None
+            else int(num_iterations))
+        return self._format_result("query", result, coupling, request), True
+
+    def _op_view(self, request: dict) -> Tuple[str, bool]:
+        graph_name = str(request["graph"])
+        view_name = str(request["name"])
+        coupling = self.coupling(str(request["coupling"]))
+        snapshot = self.service.snapshot(graph_name)
+        explicit = _belief_matrix(request["beliefs"],
+                                  snapshot.graph.num_nodes,
+                                  coupling.num_classes)
+        result = self.service.create_view(
+            graph_name, view_name, coupling, explicit,
+            method=str(request.get("method", "sbp")))
+        return (f"ok view graph={graph_name} name={view_name} "
+                f"method={result.method} iterations={result.iterations}"), True
+
+    def _op_read_view(self, request: dict) -> Tuple[str, bool]:
+        graph_name = str(request["graph"])
+        view_name = str(request["name"])
+        result = self.service.view_result(graph_name, view_name)
+        limit = int(request.get("limit", DEFAULT_LIMIT))
+        return (f"ok read_view graph={graph_name} name={view_name} "
+                f"beliefs={_format_beliefs(result, limit)}"), True
+
+    def _op_update(self, request: dict) -> Tuple[str, bool]:
+        graph_name = str(request["graph"])
+        edges = request.get("edges")
+        beliefs = request.get("beliefs")
+        new_beliefs = None
+        if beliefs is not None:
+            snapshot = self.service.snapshot(graph_name)
+            new_beliefs = _belief_matrix(beliefs, snapshot.graph.num_nodes,
+                                         self._update_classes(graph_name,
+                                                              request))
+        new_edges = None
+        if edges is not None:
+            new_edges = [tuple(edge) for edge in edges]
+        snapshot = self.service.update(graph_name, new_beliefs=new_beliefs,
+                                       new_edges=new_edges)
+        return (f"ok update graph={graph_name} "
+                f"version={snapshot.version}"), True
+
+    def _update_classes(self, graph_name: str, request: dict) -> int:
+        """Class count for an update's belief rows.
+
+        An explicit ``"coupling"`` field wins; otherwise the graph's
+        maintained views determine it (belief updates only affect views,
+        so their class count is the authoritative one), falling back to
+        a unanimous loaded-coupling registry.
+        """
+        if "coupling" in request:
+            return self.coupling(str(request["coupling"])).num_classes
+        classes = {self.service.view_result(graph_name, name).beliefs.shape[1]
+                   for name in self.service.view_names(graph_name)}
+        if len(classes) != 1:
+            with self._lock:
+                classes = {coupling.num_classes
+                           for coupling in self._couplings.values()}
+        if len(classes) != 1:
+            raise ValidationError(
+                "update with beliefs needs a 'coupling' field to "
+                "determine the class count")
+        return classes.pop()
+
+    def _op_stats(self, request: dict) -> Tuple[str, bool]:
+        stats = self.service.stats()
+        coalescer = stats["coalescer"]
+        cache = stats["result_cache"]
+        return (f"ok stats queries={stats['queries']} "
+                f"updates={stats['updates']} "
+                f"batches={coalescer['batches']} "
+                f"coalesced_requests={coalescer['coalesced_requests']} "
+                f"largest_batch={coalescer['largest_batch']} "
+                f"cache_hits={cache['hits']} "
+                f"cache_size={cache['size']}"), True
+
+    def _op_ping(self, request: dict) -> Tuple[str, bool]:
+        return "ok pong", True
+
+    def _op_shutdown(self, request: dict) -> Tuple[str, bool]:
+        return "ok bye", False
+
+    # ------------------------------------------------------------------ #
+    # formatting
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _format_result(op: str, result, coupling: CouplingMatrix,
+                       request: dict) -> str:
+        limit = int(request.get("limit", DEFAULT_LIMIT))
+        prefix = (f"ok {op} method={result.method} "
+                  f"iterations={result.iterations} "
+                  f"converged={str(result.converged).lower()}")
+        if request.get("return_beliefs"):
+            return f"{prefix} beliefs={_format_beliefs(result, limit)}"
+        return f"{prefix} labels={_format_labels(result, coupling, limit)}"

@@ -1,0 +1,453 @@
+"""The propagation service: snapshots, maintained views, coalesced queries.
+
+:class:`PropagationService` is the traffic-serving layer on top of the
+batched engines.  It owns three pieces of state:
+
+* **Versioned graph snapshots.**  Every registered graph is wrapped in an
+  immutable :class:`GraphSnapshot` ``(name, version, graph)``.  Mutations
+  (:meth:`PropagationService.update`) never modify a
+  :class:`~repro.graphs.graph.Graph` in place — they build the successor
+  graph, route the change through the existing incremental paths (ΔSBP
+  Algorithms 3/4 for SBP views, superposition / warm restarts for LinBP
+  views), and atomically install a snapshot with a bumped version.  A
+  query pins its snapshot on entry, so in-flight queries always see a
+  consistent graph no matter how many updates land concurrently.
+
+* **A micro-batching coalescer.**  Concurrent single-query requests that
+  share a batch key — ``(snapshot, method, coupling values, solver
+  parameters)``, plus the labeled-node set for SBP — are collected for a
+  short window and dispatched as *one*
+  :func:`repro.engine.batch.run_batch` /
+  :func:`repro.engine.sbp_plan.run_sbp_batch` stacked call (see
+  :mod:`repro.service.coalescer`).  Results are equivalent to sequential
+  single-query calls to 1e-10.
+
+* **TTL+LRU caches.**  Results are cached in a lock-protected
+  :class:`repro.engine.plan.GraphKeyedCache` keyed by the snapshot's
+  graph object plus a digest of the request, with a TTL; because every
+  update installs a *new* graph object and the key carries the version,
+  stale results can never be served after a mutation.  Plans are cached
+  by the engine itself (:func:`repro.engine.plan.get_plan` /
+  :func:`repro.engine.sbp_plan.get_sbp_plan`), which the coalescer turns
+  into cross-request reuse.
+
+Thread safety: the graph registry and counters are guarded by one
+re-entrant lock that is only ever held for dictionary operations;
+mutations (updates, view creation) serialise on a *per-graph* lock, and
+queries pin their snapshot with a single attribute read — so propagation
+work never serialises on the registry, and a long repair on one graph
+never blocks queries (on any graph).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.incremental import IncrementalLinBP
+from repro.core.results import PropagationResult
+from repro.core.sbp import SBP
+from repro.coupling.matrices import CouplingMatrix
+from repro.engine import batch as engine_batch
+from repro.engine import plan as engine_plan
+from repro.engine import sbp_plan as engine_sbp
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Edge, Graph
+from repro.service.coalescer import MicroBatcher
+
+__all__ = ["GraphSnapshot", "PropagationService"]
+
+#: Methods the service can route; values are (solver family, echo flag).
+_METHODS: Dict[str, Tuple[str, bool]] = {
+    "linbp": ("linbp", True),
+    "linbp*": ("linbp", False),
+    "sbp": ("sbp", True),
+}
+
+
+@dataclass(frozen=True)
+class GraphSnapshot:
+    """One immutable version of a registered graph.
+
+    Queries pin a snapshot at submission; updates install a successor
+    with ``version + 1`` and (for edge updates) a new ``graph`` object.
+    """
+
+    name: str
+    version: int
+    graph: Graph
+
+
+class _MaintainedView:
+    """A named, incrementally maintained propagation result.
+
+    Wraps one of the existing maintained runners — :class:`SBP` for the
+    single-pass family, :class:`IncrementalLinBP` for the LinBP family —
+    and relies on their update hooks for change accounting.
+    """
+
+    def __init__(self, name: str, method: str, runner):
+        self.name = name
+        self.method = method
+        self.runner = runner
+        self.last_result: Optional[PropagationResult] = None
+        self.nodes_updated_total = 0
+        runner.add_update_hook(self._on_update)
+
+    def _on_update(self, event) -> None:
+        if event.nodes_updated is not None:
+            self.nodes_updated_total += int(event.nodes_updated)
+
+
+class _GraphEntry:
+    """Registry slot: the current snapshot plus the maintained views.
+
+    ``lock`` serialises *mutations* of this one graph (updates and view
+    creation, which must see a consistent graph and apply in order).
+    Reading ``snapshot`` needs no lock — the attribute always points at
+    a fully built immutable :class:`GraphSnapshot`, so queries pin their
+    version with a single attribute read and never wait behind a
+    long-running repair on this (or any other) graph.
+    """
+
+    def __init__(self, snapshot: GraphSnapshot):
+        self.snapshot = snapshot
+        self.views: Dict[str, _MaintainedView] = {}
+        self.lock = threading.RLock()
+
+
+class PropagationService:
+    """Thread-safe propagation front end over both engines.
+
+    Parameters
+    ----------
+    window_seconds, max_batch:
+        Coalescing behaviour (see :class:`~repro.service.coalescer
+        .MicroBatcher`).  ``window_seconds=0`` disables coalescing.
+    result_cache_size, result_ttl_seconds:
+        LRU capacity and entry lifetime of the result cache; ``None``
+        TTL keeps results until evicted by LRU or a graph update.
+    clock:
+        Monotonic clock, injectable for tests (drives the TTL).
+    """
+
+    def __init__(self, window_seconds: float = 0.002, max_batch: int = 16,
+                 result_cache_size: int = 256,
+                 result_ttl_seconds: Optional[float] = 300.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self._lock = threading.RLock()
+        self._graphs: Dict[str, _GraphEntry] = {}
+        self.batcher = MicroBatcher(window_seconds=window_seconds,
+                                    max_batch=max_batch)
+        self.results = engine_plan.GraphKeyedCache(
+            result_cache_size, ttl_seconds=result_ttl_seconds, clock=clock)
+        self._queries = 0
+        self._updates = 0
+
+    # ------------------------------------------------------------------ #
+    # graph registry and snapshots
+    # ------------------------------------------------------------------ #
+    def register_graph(self, name: str, graph: Graph) -> GraphSnapshot:
+        """Register ``graph`` under ``name`` at version 0."""
+        with self._lock:
+            if name in self._graphs:
+                raise ValidationError(f"graph {name!r} is already registered")
+            snapshot = GraphSnapshot(name=name, version=0, graph=graph)
+            self._graphs[name] = _GraphEntry(snapshot)
+            return snapshot
+
+    def unregister_graph(self, name: str) -> None:
+        """Drop a graph, its views, and (via weakrefs) its cached results."""
+        with self._lock:
+            if self._graphs.pop(name, None) is None:
+                raise ValidationError(f"unknown graph {name!r}")
+
+    def snapshot(self, name: str) -> GraphSnapshot:
+        """The current immutable snapshot of a registered graph."""
+        return self._entry(name).snapshot
+
+    def graph_names(self) -> List[str]:
+        """Names of all registered graphs (sorted)."""
+        with self._lock:
+            return sorted(self._graphs)
+
+    def _entry(self, name: str) -> _GraphEntry:
+        with self._lock:
+            entry = self._graphs.get(name)
+            if entry is None:
+                raise ValidationError(f"unknown graph {name!r}")
+            return entry
+
+    # ------------------------------------------------------------------ #
+    # coalesced one-shot queries
+    # ------------------------------------------------------------------ #
+    def query(self, graph_name: str, coupling: CouplingMatrix,
+              explicit_residuals: np.ndarray, method: str = "linbp",
+              max_iterations: int = 100, tolerance: float = 1e-10,
+              num_iterations: Optional[int] = None) -> PropagationResult:
+        """Run one propagation query, coalescing with concurrent peers.
+
+        Semantically identical to calling :func:`repro.core.linbp.linbp`
+        (or ``linbp_star`` / :func:`repro.core.sbp.sbp`) on the graph's
+        current snapshot; concurrently submitted queries that share the
+        snapshot, coupling values and solver parameters are dispatched as
+        one stacked batch.  Results may be served from the TTL+LRU cache
+        when an identical request (same snapshot version, same explicit
+        bytes) was answered recently; cached results are shared — treat
+        them as read-only.
+        """
+        if method not in _METHODS:
+            raise ValidationError(
+                f"unknown method {method!r}; expected one of "
+                f"{sorted(_METHODS)}")
+        family, echo = _METHODS[method]
+        snapshot = self.snapshot(graph_name)
+        explicit = np.ascontiguousarray(explicit_residuals, dtype=np.float64)
+        expected = (snapshot.graph.num_nodes, coupling.num_classes)
+        if explicit.shape != expected:
+            raise ValidationError(
+                f"explicit beliefs must have shape {expected}, "
+                f"got {explicit.shape}")
+        with self._lock:
+            self._queries += 1
+        if family == "sbp":
+            # Single-pass SBP ignores the iterative solver parameters, so
+            # they must not fragment the batch/result keys: requests that
+            # differ only in max_iterations/tolerance coalesce and share
+            # cached results.
+            params: Tuple = (method,)
+        else:
+            params = (method, int(max_iterations), float(tolerance),
+                      num_iterations if num_iterations is None
+                      else int(num_iterations))
+        coupling_id = engine_plan.coupling_key(coupling)
+        digest = hashlib.sha1(explicit.tobytes()).digest()
+        result_key = (snapshot.version, params, coupling_id, digest)
+        cached = self.results.lookup(snapshot.graph, result_key)
+        if cached is not None:
+            return cached
+        if family == "sbp":
+            labeled = np.nonzero(np.any(explicit != 0.0, axis=1))[0]
+            batch_key = (id(snapshot.graph), snapshot.version, params,
+                         coupling_id, labeled.tobytes())
+
+            def dispatch(items: List[object]) -> Sequence[PropagationResult]:
+                return engine_sbp.run_sbp_batch(
+                    snapshot.graph, coupling,
+                    [item[0] for item in items])
+        else:
+            batch_key = (id(snapshot.graph), snapshot.version, params,
+                         coupling_id)
+
+            def dispatch(items: List[object]) -> Sequence[PropagationResult]:
+                plan = engine_plan.get_plan(snapshot.graph, coupling,
+                                            echo_cancellation=echo)
+                return engine_batch.run_batch(
+                    plan, [item[0] for item in items],
+                    max_iterations=max_iterations, tolerance=tolerance,
+                    num_iterations=num_iterations)
+
+        def dispatch_and_cache(items: List[object]
+                               ) -> Sequence[PropagationResult]:
+            results = dispatch(items)
+            for (_, key), result in zip(items, results):
+                self.results.store(snapshot.graph, key, result)
+            return results
+
+        return self.batcher.submit(batch_key, (explicit, result_key),
+                                   dispatch_and_cache)
+
+    # ------------------------------------------------------------------ #
+    # maintained views
+    # ------------------------------------------------------------------ #
+    def create_view(self, graph_name: str, view_name: str,
+                    coupling: CouplingMatrix, explicit_residuals: np.ndarray,
+                    method: str = "sbp", max_iterations: int = 200,
+                    tolerance: float = 1e-10) -> PropagationResult:
+        """Create a named maintained view and compute its initial result.
+
+        The view is kept current by :meth:`update`: label changes ride
+        the ΔSBP repair (``method="sbp"``) or the superposition solve
+        (LinBP family); edge insertions ride the Algorithm 4 repair or a
+        warm-started iteration.  Views pin their *own* graph lineage —
+        they evolve with the updates applied through this service, in
+        lock step with the snapshot version.
+        """
+        if method not in _METHODS:
+            raise ValidationError(
+                f"unknown method {method!r}; expected one of "
+                f"{sorted(_METHODS)}")
+        family, echo = _METHODS[method]
+        entry = self._entry(graph_name)
+        with entry.lock:
+            if view_name in entry.views:
+                raise ValidationError(
+                    f"view {view_name!r} already exists on graph "
+                    f"{graph_name!r}")
+            graph = entry.snapshot.graph
+            if family == "sbp":
+                runner = SBP(graph, coupling)
+            else:
+                runner = IncrementalLinBP(
+                    graph, coupling, echo_cancellation=echo,
+                    max_iterations=max_iterations, tolerance=tolerance)
+            view = _MaintainedView(view_name, method, runner)
+            view.last_result = runner.run(explicit_residuals)
+            entry.views[view_name] = view
+            return view.last_result
+
+    def view_result(self, graph_name: str, view_name: str) -> PropagationResult:
+        """The most recent result of a maintained view."""
+        entry = self._entry(graph_name)
+        with entry.lock:
+            view = entry.views.get(view_name)
+            if view is None:
+                raise ValidationError(
+                    f"unknown view {view_name!r} on graph {graph_name!r}")
+            return view.last_result
+
+    def view_names(self, graph_name: str) -> List[str]:
+        """Names of the maintained views of one graph (sorted)."""
+        entry = self._entry(graph_name)
+        with entry.lock:
+            return sorted(entry.views)
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+    def update(self, graph_name: str,
+               new_beliefs: Optional[Union[Dict[int, np.ndarray],
+                                           np.ndarray]] = None,
+               new_edges: Optional[Sequence[Union[Tuple[int, int],
+                                                  Tuple[int, int, float],
+                                                  Edge]]] = None
+               ) -> GraphSnapshot:
+        """Apply a mutation and install a new snapshot (version + 1).
+
+        ``new_edges`` produces a successor graph via
+        :meth:`Graph.with_edges_added`; ``new_beliefs`` updates the base
+        explicit beliefs of every maintained view.  Either way each view
+        is repaired through its incremental path — ΔSBP Algorithms 3/4
+        for SBP views, superposition / warm restart for LinBP views —
+        and the snapshot version is bumped, so queries submitted after
+        this call see the new state while in-flight queries finish on
+        the snapshot they pinned.
+
+        Both inputs are validated *before* any view is touched (the
+        successor graph is built first, so malformed edges raise before
+        any repair runs, and belief shapes are checked against every
+        view up front) — a rejected update leaves the service exactly as
+        it was.
+        """
+        if new_beliefs is None and new_edges is None:
+            raise ValidationError(
+                "update() needs new_beliefs and/or new_edges")
+        entry = self._entry(graph_name)
+        with entry.lock:
+            old = entry.snapshot
+            graph = old.graph
+            edges = None
+            if new_edges is not None:
+                edges = list(new_edges)
+                if not edges:
+                    raise ValidationError("new_edges must not be empty")
+                # Building the successor graph validates every edge
+                # (ids, weights, self-loops) before any view mutates.
+                graph = graph.with_edges_added(edges)
+            if new_beliefs is not None:
+                for view in entry.views.values():
+                    self._check_belief_update(old.graph, view, new_beliefs)
+            if edges is not None:
+                # Every view repairs against the one successor graph built
+                # above: the snapshot and all maintained runners share a
+                # single Graph object, so the engine's id()-keyed plan
+                # caches serve view repairs and one-shot queries alike.
+                for view in entry.views.values():
+                    view.last_result = view.runner.add_edges(
+                        edges, updated_graph=graph)
+            if new_beliefs is not None:
+                for view in entry.views.values():
+                    view.last_result = \
+                        view.runner.add_explicit_beliefs(new_beliefs)
+            snapshot = GraphSnapshot(name=graph_name, version=old.version + 1,
+                                     graph=graph)
+            entry.snapshot = snapshot
+            with self._lock:
+                self._updates += 1
+            return snapshot
+
+    @staticmethod
+    def _check_belief_update(graph: Graph, view: _MaintainedView,
+                             new_beliefs: Union[Dict[int, np.ndarray],
+                                                np.ndarray]) -> None:
+        """Reject a belief update that any view's runner would refuse.
+
+        Runs the same shape/range checks as the runners' own
+        ``add_explicit_beliefs`` validation, but against *every* view
+        before *any* of them mutates — so a malformed update cannot be
+        half-applied across views (or land after the edge repairs).
+        """
+        num_classes = view.runner.coupling.num_classes
+        if isinstance(new_beliefs, Mapping):
+            for node, vector in new_beliefs.items():
+                index = int(node)
+                if index < 0 or index >= graph.num_nodes:
+                    raise ValidationError(
+                        f"node {node} out of range [0, {graph.num_nodes})")
+                if np.asarray(vector, dtype=float).shape != (num_classes,):
+                    raise ValidationError(
+                        f"belief vector for node {node} must have "
+                        f"length {num_classes}")
+            return
+        matrix = np.asarray(new_beliefs, dtype=float)
+        expected = (graph.num_nodes, num_classes)
+        if matrix.shape != expected:
+            raise ValidationError(
+                f"expected a {expected[0]} x {expected[1]} matrix of "
+                f"new beliefs for view {view.name!r}")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Service counters: traffic, coalescing, caches, graph versions."""
+        with self._lock:
+            entries = dict(self._graphs)
+            queries, updates = self._queries, self._updates
+        versions = {}
+        views = {}
+        for name, entry in entries.items():
+            versions[name] = entry.snapshot.version
+            # View dicts mutate under the per-graph lock (create_view), so
+            # read them under the same lock to keep iteration safe.
+            with entry.lock:
+                if entry.views:
+                    views[name] = {
+                        view_name: {"method": view.method,
+                                    "nodes_updated_total":
+                                        view.nodes_updated_total}
+                        for view_name, view in entry.views.items()}
+        return {
+            "queries": queries,
+            "updates": updates,
+            "graphs": versions,
+            "views": views,
+            "coalescer": dict(self.batcher.stats),
+            "result_cache": {"size": len(self.results),
+                             **self.results.stats},
+            "plan_cache": engine_plan.plan_cache_info(),
+        }

@@ -8,10 +8,8 @@ import pytest
 from repro.beliefs import BeliefMatrix
 from repro.coupling import fraud_matrix, homophily_matrix, synthetic_residual_matrix
 from repro.graphs import (
-    Graph,
     chain_graph,
     random_graph,
-    ring_graph,
     sbp_example_graph,
     torus_graph,
 )

@@ -6,10 +6,10 @@ import numpy as np
 import pytest
 
 from repro.beliefs import BeliefMatrix
-from repro.coupling import CouplingMatrix, fraud_matrix, heterophily_matrix, homophily_matrix
+from repro.coupling import fraud_matrix, heterophily_matrix, homophily_matrix
 from repro.core import BeliefPropagation, belief_propagation, linbp
 from repro.exceptions import ValidationError
-from repro.graphs import Graph, binary_tree_graph, chain_graph, star_graph
+from repro.graphs import Graph, binary_tree_graph, chain_graph
 
 
 class TestBPOnTrees:

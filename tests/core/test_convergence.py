@@ -7,7 +7,7 @@ import pytest
 
 from repro.coupling import CouplingMatrix, fraud_matrix, homophily_matrix
 from repro.core import convergence, linbp, linbp_star
-from repro.graphs import Graph, chain_graph, ring_graph, torus_graph
+from repro.graphs import Graph, chain_graph, ring_graph
 
 
 class TestExactCriteria:

@@ -7,9 +7,9 @@ import pytest
 
 from repro.core import estimate_coupling, linbp
 from repro.core.estimation import label_cooccurrence_counts
-from repro.coupling import fraud_matrix, is_doubly_stochastic
+from repro.coupling import is_doubly_stochastic
 from repro.exceptions import ValidationError
-from repro.graphs import Graph, chain_graph, random_graph, ring_graph
+from repro.graphs import Graph, chain_graph
 
 
 def _planted_graph(num_nodes=200, num_classes=3, seed=0, heterophily=False):

@@ -4,12 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-
-from repro.beliefs import BeliefMatrix
 from repro.core import fabp, linbp_closed_form
 from repro.core.fabp import binary_coupling, fabp_closed_form
 from repro.exceptions import ValidationError
-from repro.graphs import Graph, chain_graph, random_graph, ring_graph
+from repro.graphs import chain_graph, random_graph, ring_graph
 
 
 def _scalar_explicit(labels, num_nodes, magnitude=0.1):

@@ -9,7 +9,7 @@ from repro.beliefs import BeliefMatrix
 from repro.coupling import CouplingMatrix, fraud_matrix, homophily_matrix
 from repro.core import LinBP, linbp, linbp_closed_form, linbp_star
 from repro.exceptions import NotConvergentParametersError, ValidationError
-from repro.graphs import Graph, chain_graph, star_graph
+from repro.graphs import Graph, star_graph
 
 
 class TestLinBPBasics:

@@ -6,11 +6,10 @@ import numpy as np
 import pytest
 
 from repro.beliefs import BeliefMatrix, standardize
-from repro.coupling import CouplingMatrix, fraud_matrix, homophily_matrix, synthetic_residual_matrix
-from repro.core import SBP, linbp, sbp
-from repro.core.linbp import LinBP
+from repro.coupling import fraud_matrix, homophily_matrix
+from repro.core import SBP, sbp
 from repro.exceptions import ValidationError
-from repro.graphs import Graph, chain_graph, modified_adjacency, sbp_example_graph, torus_graph
+from repro.graphs import Graph, chain_graph, modified_adjacency, sbp_example_graph
 
 
 class TestSBPSemantics:

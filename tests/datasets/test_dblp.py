@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import generate_dblp_like
-from repro.datasets.dblp import CLASS_NAMES, NODE_TYPES
+from repro.datasets.dblp import CLASS_NAMES
 from repro.exceptions import DatasetError
 
 

@@ -1,0 +1,109 @@
+"""Concurrency and TTL regression tests for the shared GraphKeyedCache.
+
+The propagation service's coalescer hits the engine caches from many
+threads at once; before the service existed, ``lookup``/``store`` mutated
+the shared ``OrderedDict`` without a lock (``move_to_end`` during a
+concurrent ``store`` corrupts the dict or raises).  These tests hammer
+one cache from a thread pool and pin down the TTL semantics the service
+relies on.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.plan import GraphKeyedCache
+from repro.graphs import chain_graph
+
+
+class TestThreadSafety:
+    def test_hammer_from_thread_pool(self):
+        cache = GraphKeyedCache(max_size=8)
+        graphs = [chain_graph(3) for _ in range(4)]
+
+        def worker(worker_id: int) -> int:
+            completed = 0
+            for round_number in range(300):
+                graph = graphs[(worker_id + round_number) % len(graphs)]
+                suffix = (round_number % 11,)
+                value = cache.lookup(graph, suffix)
+                if value is None:
+                    cache.store(graph, suffix, (worker_id, round_number))
+                if round_number % 50 == 0:
+                    len(cache)
+                completed += 1
+            return completed
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            totals = list(pool.map(worker, range(8)))
+        assert totals == [300] * 8
+        assert len(cache) <= 8
+        stats = cache.stats
+        assert stats["hits"] + stats["misses"] == 8 * 300
+
+    def test_concurrent_store_respects_capacity(self):
+        cache = GraphKeyedCache(max_size=4)
+        graph = chain_graph(3)
+
+        def worker(worker_id: int) -> None:
+            for i in range(200):
+                cache.store(graph, (worker_id, i), i)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(worker, range(6)))
+        assert len(cache) <= 4
+
+    def test_clear_while_hammering(self):
+        cache = GraphKeyedCache(max_size=16)
+        graph = chain_graph(3)
+
+        def writer() -> None:
+            for i in range(500):
+                cache.store(graph, (i % 7,), i)
+                cache.lookup(graph, (i % 7,))
+
+        def clearer() -> None:
+            for _ in range(50):
+                cache.clear()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(writer) for _ in range(3)]
+            futures.append(pool.submit(clearer))
+            for future in futures:
+                future.result()
+        assert len(cache) <= 16
+
+
+class TestTTL:
+    def test_entries_expire_after_ttl(self):
+        now = [0.0]
+        cache = GraphKeyedCache(max_size=8, ttl_seconds=10.0,
+                                clock=lambda: now[0])
+        graph = chain_graph(3)
+        cache.store(graph, ("a",), "value")
+        assert cache.lookup(graph, ("a",)) == "value"
+        now[0] = 9.9
+        assert cache.lookup(graph, ("a",)) == "value"
+        now[0] = 10.0
+        assert cache.lookup(graph, ("a",)) is None
+        assert cache.stats["expired"] == 1
+        assert len(cache) == 0
+
+    def test_store_refreshes_ttl(self):
+        now = [0.0]
+        cache = GraphKeyedCache(max_size=8, ttl_seconds=10.0,
+                                clock=lambda: now[0])
+        graph = chain_graph(3)
+        cache.store(graph, ("a",), "old")
+        now[0] = 8.0
+        cache.store(graph, ("a",), "new")
+        now[0] = 15.0  # past the original deadline, inside the refreshed one
+        assert cache.lookup(graph, ("a",)) == "new"
+
+    def test_no_ttl_means_no_expiry(self):
+        now = [0.0]
+        cache = GraphKeyedCache(max_size=8, clock=lambda: now[0])
+        graph = chain_graph(3)
+        cache.store(graph, ("a",), "value")
+        now[0] = 1e9
+        assert cache.lookup(graph, ("a",)) == "value"

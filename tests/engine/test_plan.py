@@ -13,7 +13,7 @@ from repro.engine import (
     get_plan,
     plan_cache_info,
 )
-from repro.graphs import Graph, chain_graph, random_graph, torus_graph
+from repro.graphs import chain_graph, random_graph, torus_graph
 from repro.graphs import linalg
 
 

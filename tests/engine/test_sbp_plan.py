@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 from scipy.sparse.csgraph import shortest_path
 
 from repro.coupling import fraud_matrix, homophily_matrix, synthetic_residual_matrix

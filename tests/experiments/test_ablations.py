@@ -1,8 +1,6 @@
 """Tests for the ablation experiments (echo term, solver choice, wvRN baseline)."""
 
 from __future__ import annotations
-
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.experiments import (
     run_explicit_fraction_sweep,
     run_incremental_beliefs,

@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.experiments import (
     run_estimated_coupling_experiment,
     run_incremental_linbp_experiment,

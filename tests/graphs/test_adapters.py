@@ -1,8 +1,6 @@
 """Tests for the NetworkX adapters (optional dependency, installed in CI)."""
 
 from __future__ import annotations
-
-import numpy as np
 import pytest
 
 networkx = pytest.importorskip("networkx")

@@ -11,11 +11,10 @@ import numpy as np
 import pytest
 
 from repro.coupling import synthetic_residual_matrix
-from repro.core import SBP, linbp, linbp_closed_form, linbp_star, sbp
+from repro.core import SBP, linbp, linbp_closed_form, sbp
 from repro.datasets import sample_explicit_beliefs, sample_explicit_nodes
 from repro.graphs import random_graph
 from repro.relational import (
-    RelationalLinBP,
     RelationalSBP,
     add_edges_sql,
     add_explicit_beliefs_sql,

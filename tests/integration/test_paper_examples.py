@@ -7,7 +7,7 @@ import pytest
 
 from repro.beliefs import standardize
 from repro.coupling import fraud_matrix
-from repro.core import belief_propagation, convergence, linbp, linbp_star, sbp
+from repro.core import belief_propagation, linbp, linbp_star, sbp
 from repro.experiments import torus_reference_values, torus_workload
 from repro.graphs import geodesic_numbers, sbp_example_graph, torus_graph
 

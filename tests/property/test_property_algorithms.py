@@ -3,12 +3,11 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.coupling import CouplingMatrix
-from repro.core import linbp, linbp_closed_form, sbp
+from repro.core import linbp_closed_form, sbp
 from repro.graphs import Graph
 
 
@@ -132,6 +131,22 @@ class TestSBPProperties:
     def test_standardized_assignment_independent_of_epsilon(self, workload, epsilon):
         """Section 6.2: SBP's standardized beliefs do not depend on ε_H."""
         graph, coupling, explicit = workload
-        reference = sbp(graph, coupling, explicit).standardized_beliefs()
-        rescaled = sbp(graph, coupling.scaled(epsilon), explicit).standardized_beliefs()
-        assert np.allclose(reference, rescaled, atol=1e-7)
+        reference_run = sbp(graph, coupling, explicit)
+        rescaled_run = sbp(graph, coupling.scaled(epsilon), explicit)
+        reference = reference_run.standardized_beliefs()
+        rescaled = rescaled_run.standardized_beliefs()
+        # Within one geodesic level the ε dependence is a common (ε·h)^g
+        # factor, so a node whose same-level path contributions (nearly)
+        # cancel — e.g. equal-weight paths from opposite labels — cancels
+        # identically at every ε: its raw row is float noise and its
+        # standardized direction is meaningless.  The invariance claim is
+        # exact-arithmetic, so compare only rows that are resolvable
+        # relative to the largest row of their own level.
+        geodesic = reference_run.extra["geodesic_numbers"]
+        magnitude = np.abs(reference_run.beliefs).max(axis=1)
+        resolvable = np.zeros(graph.num_nodes, dtype=bool)
+        for level in np.unique(geodesic[geodesic > 0]):
+            rows = geodesic == level
+            resolvable[rows] = magnitude[rows] > 1e-6 * magnitude[rows].max()
+        assert np.allclose(reference[resolvable], rescaled[resolvable],
+                           atol=1e-7)

@@ -10,7 +10,6 @@ to solver tolerance) between the engines.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.graphs import UNREACHABLE, Graph, geodesic_numbers, modified_adjacency

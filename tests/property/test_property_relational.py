@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
-
-import pytest
+from typing import Dict
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.coupling import fraud_matrix, homophily_matrix
+from repro.coupling import homophily_matrix
 from repro.core import linbp, linbp_closed_form, linbp_star
 from repro.exceptions import ValidationError
 from repro.graphs import Graph, chain_graph

@@ -12,9 +12,7 @@ from repro.graphs import Graph, chain_graph, random_graph
 from repro.relational import (
     RelationalSBP,
     add_edges_sql,
-    add_explicit_beliefs_sql,
-    sbp_sql,
-)
+    add_explicit_beliefs_sql)
 
 
 @pytest.fixture

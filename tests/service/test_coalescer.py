@@ -1,0 +1,112 @@
+"""Behaviour tests for the micro-batching coalescer."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.service import MicroBatcher
+
+
+def _echo_batch(items):
+    """A batch function that tags every item with the batch size."""
+    return [(item, len(items)) for item in items]
+
+
+class TestCoalescing:
+    def test_single_request_runs_alone(self):
+        batcher = MicroBatcher(window_seconds=0.001, max_batch=8)
+        result = batcher.submit("key", "a", _echo_batch)
+        assert result == ("a", 1)
+        assert batcher.stats["batches"] == 1
+        assert batcher.stats["largest_batch"] == 1
+
+    def test_concurrent_same_key_requests_coalesce(self):
+        batcher = MicroBatcher(window_seconds=0.25, max_batch=8)
+        barrier = threading.Barrier(8)
+
+        def client(item):
+            barrier.wait()
+            return batcher.submit("key", item, _echo_batch)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(client, range(8)))
+        # Everyone got their own item back, each exactly once.
+        assert sorted(item for item, _ in results) == list(range(8))
+        assert batcher.stats["largest_batch"] > 1
+        assert batcher.stats["requests"] == 8
+
+    def test_full_batch_dispatches_before_window(self):
+        # With max_batch == client count the batch must dispatch early:
+        # a generous window would otherwise dominate the elapsed time.
+        batcher = MicroBatcher(window_seconds=30.0, max_batch=4)
+        barrier = threading.Barrier(4)
+
+        def client(item):
+            barrier.wait()
+            return batcher.submit("key", item, _echo_batch)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(client, i) for i in range(4)]
+            results = [future.result(timeout=10) for future in futures]
+        batch_sizes = {size for _, size in results}
+        assert batch_sizes == {4}
+
+    def test_distinct_keys_never_share_a_batch(self):
+        batcher = MicroBatcher(window_seconds=0.25, max_batch=8)
+        barrier = threading.Barrier(6)
+
+        def client(item):
+            barrier.wait()
+            return batcher.submit(item % 2, item, _echo_batch)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(client, range(6)))
+        for item, batch_size in results:
+            assert batch_size <= 3  # at most the 3 requests of its key
+
+    def test_zero_window_disables_coalescing(self):
+        batcher = MicroBatcher(window_seconds=0.0, max_batch=8)
+        for item in range(3):
+            assert batcher.submit("key", item, _echo_batch) == (item, 1)
+        assert batcher.stats["batches"] == 3
+        assert batcher.stats["coalesced_requests"] == 0
+
+
+class TestErrors:
+    def test_batch_error_propagates_to_every_member(self):
+        batcher = MicroBatcher(window_seconds=0.25, max_batch=4)
+        barrier = threading.Barrier(4)
+
+        def explode(items):
+            raise RuntimeError("engine on fire")
+
+        def client(item):
+            barrier.wait()
+            return batcher.submit("key", item, explode)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(client, i) for i in range(4)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="engine on fire"):
+                    future.result(timeout=10)
+
+    def test_wrong_result_count_is_rejected(self):
+        batcher = MicroBatcher(window_seconds=0.0, max_batch=4)
+        with pytest.raises(ValidationError):
+            batcher.submit("key", "a", lambda items: [])
+
+    def test_next_batch_starts_clean_after_error(self):
+        batcher = MicroBatcher(window_seconds=0.0, max_batch=4)
+        with pytest.raises(ZeroDivisionError):
+            batcher.submit("key", "a", lambda items: 1 / 0 and [])
+        assert batcher.submit("key", "b", _echo_batch) == ("b", 1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            MicroBatcher(window_seconds=-1.0)
+        with pytest.raises(ValidationError):
+            MicroBatcher(max_batch=0)

@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import json
-
-import numpy as np
 import pytest
 
 from repro import BeliefMatrix
@@ -114,6 +112,38 @@ class TestAnalyzeCommand:
                           "--coupling", str(coupling_path), "--mooij-kappen"])
         assert exit_code == 0
         assert "Mooij-Kappen" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port is None
+        assert args.window_ms == 2.0
+        assert args.max_batch == 16
+
+    def test_serve_stdin_mode_processes_requests(self, capsys, monkeypatch):
+        import io
+        import sys
+
+        requests = "\n".join([
+            json.dumps({"op": "load_graph", "name": "g",
+                        "edges": [[0, 1], [1, 2]]}),
+            json.dumps({"op": "load_coupling", "name": "h",
+                        "stochastic": [[0.9, 0.1], [0.1, 0.9]],
+                        "epsilon": 0.2}),
+            json.dumps({"op": "query", "graph": "g", "coupling": "h",
+                        "beliefs": [[0, 0, 0.1]]}),
+            json.dumps({"op": "shutdown"}),
+        ])
+        monkeypatch.setattr(sys, "stdin", io.StringIO(requests))
+        exit_code = main(["serve", "--window-ms", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = captured.out.splitlines()
+        assert lines[0].startswith("ok graph name=g")
+        assert lines[2].startswith("ok query method=LinBP")
+        assert lines[-1] == "ok bye"
+        assert "reading JSON requests" in captured.err
 
 
 class TestExperimentCommand:

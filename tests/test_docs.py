@@ -8,7 +8,6 @@ script invocation.
 from __future__ import annotations
 
 import importlib.util
-import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
