@@ -1,0 +1,183 @@
+"""Benchmark — 4-shard pooled propagation vs single-process ``run_batch``.
+
+The sharded subsystem's claim: partition a web-scale-ish graph, run the
+same LinBP iteration as block-Jacobi sweeps on a ``multiprocessing``
+pool with shared-memory halo exchange, and (a) match the single-matrix
+engine's beliefs to 1e-10, (b) beat its wall-clock once there is
+hardware to parallelise over.
+
+The workload is a ≥ 200k-node stochastic Kronecker graph (2×2
+initiator at power 18 → 262 144 nodes, ~730k undirected edges — the
+regime of the paper's graphs #7–#8) carrying a 4-query batch at a fixed
+iteration count, so both engines do byte-identical amounts of numerical
+work and the comparison isolates the execution strategy.
+
+The asserted speedup is scaled to the machine, because a process pool
+cannot beat a single process without cores to run on:
+
+* ≥ 4 CPUs (the benchmark's intended host): pooled must **beat**
+  single-process (ratio > 1).
+* 2–3 CPUs: partial parallelism; pooled must reach 60 % of
+  single-process throughput.
+* 1 CPU: pure overhead measurement; pooled must stay within ~7× of
+  single-process (catches pathological IPC/copy regressions, the only
+  meaningful gate without parallel hardware).
+
+Under ``REPRO_BENCH_SMOKE=1`` (the CI shard-smoke job, via
+``scripts/bench_record.py --compare --smoke --suite shard``) the graph
+shrinks to 4 096 nodes and only a loose overhead-ratio is gated —
+shared runners parallelise too noisily for a tight claim, so the smoke
+gate is "equivalence holds and the pool is not pathologically slow".
+
+Correctness is asserted unconditionally: every query's pooled beliefs
+must match single-process ``run_batch`` to 1e-10 in all modes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import attach_table
+from repro.coupling import synthetic_residual_matrix
+from repro.engine import clear_plan_cache
+from repro.engine import batch as engine_batch
+from repro.engine import plan as engine_plan
+from repro.experiments.runner import ResultTable
+from repro.graphs.generators import kronecker_graph
+from repro.shard import ShardWorkerPool, get_sharded_plan, partition_graph, run_sharded_batch
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: 2×2 symmetric initiator: n = 2**power nodes, edge entries grow ~2.2×
+#: per power — power 18 gives the ≥ 200k-node target without the
+#: multi-minute generation cost of the 3×3 suite's #8.
+INITIATOR = np.array([[0.9, 0.3], [0.3, 0.7]])
+POWER = 12 if SMOKE else 18
+NUM_SHARDS = 4
+NUM_QUERIES = 4
+NUM_ITERATIONS = 10
+EPSILON = 0.01
+EXPLICIT_FRACTION = 0.01
+ROUNDS = 3
+
+
+def _required_speedup() -> float:
+    """The asserted pooled/single throughput ratio for this machine."""
+    if SMOKE:
+        return 0.10
+    cpus = os.cpu_count() or 1
+    if cpus >= NUM_SHARDS:
+        return 1.05
+    if cpus >= 2:
+        return 0.60
+    return 0.15
+
+
+_WORKLOAD_CACHE: dict = {}
+
+
+def _workload():
+    """Graph + coupling + query batch, generated once per session."""
+    if "workload" in _WORKLOAD_CACHE:
+        return _WORKLOAD_CACHE["workload"]
+    graph = kronecker_graph(POWER, initiator=INITIATOR, seed=5)
+    coupling = synthetic_residual_matrix(epsilon=EPSILON)
+    rng = np.random.default_rng(0)
+    explicits = []
+    for _ in range(NUM_QUERIES):
+        explicit = np.zeros((graph.num_nodes, 3))
+        labeled = rng.choice(graph.num_nodes,
+                             max(int(graph.num_nodes * EXPLICIT_FRACTION), 1),
+                             replace=False)
+        values = rng.uniform(-0.1, 0.1, (labeled.size, 2))
+        explicit[labeled, 0] = values[:, 0]
+        explicit[labeled, 1] = values[:, 1]
+        explicit[labeled, 2] = -values.sum(axis=1)
+        explicits.append(explicit)
+    _WORKLOAD_CACHE["workload"] = (graph, coupling, explicits)
+    return _WORKLOAD_CACHE["workload"]
+
+
+def _best_of(callable_, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_shard_pool_vs_single_process(benchmark):
+    """4-shard pooled sweeps vs one-process run_batch on a 262k-node graph."""
+    clear_plan_cache()
+    graph, coupling, explicits = _workload()
+    plan = engine_plan.get_plan(graph, coupling)
+
+    def single():
+        return engine_batch.run_batch(plan, explicits,
+                                      num_iterations=NUM_ITERATIONS)
+
+    base_results = single()  # warm-up + reference beliefs
+    single_seconds = _best_of(single)
+
+    partition = partition_graph(graph, NUM_SHARDS)
+    sharded_plan = get_sharded_plan(partition, coupling)
+    stats = partition.stats()
+    with ShardWorkerPool(partition) as pool:
+
+        def pooled():
+            return run_sharded_batch(sharded_plan, explicits,
+                                     num_iterations=NUM_ITERATIONS,
+                                     executor=pool)
+
+        pooled_results = pooled()  # warm-up + correctness sample
+        pooled_seconds = _best_of(pooled)
+
+        worst = max(np.abs(r.beliefs - b.beliefs).max()
+                    for r, b in zip(pooled_results, base_results))
+        assert worst < 1e-10, (
+            f"pooled beliefs diverged from single-process run_batch "
+            f"(max |Δ| = {worst:.3e})")
+
+        speedup = single_seconds / pooled_seconds
+        required = _required_speedup()
+        table = ResultTable(
+            f"Sharded propagation — {graph.num_nodes} nodes, "
+            f"{NUM_SHARDS} shards, {NUM_QUERIES} queries x "
+            f"{NUM_ITERATIONS} iterations")
+        table.add_row(
+            nodes=graph.num_nodes,
+            edges=graph.num_edges,
+            cut_edges=stats.cut_edges,
+            cut_fraction=round(stats.cut_fraction, 3),
+            balance=round(stats.balance, 3),
+            cpus=os.cpu_count() or 1,
+            single_s=round(single_seconds, 4),
+            pooled_s=round(pooled_seconds, 4),
+            speedup=round(speedup, 3),
+            required=required,
+            max_error=float(worst),
+        )
+        # The benchmark statistic is one pooled propagation.
+        benchmark.pedantic(pooled, rounds=ROUNDS, iterations=1)
+        attach_table(benchmark, table)
+        assert speedup >= required, (
+            f"pooled propagation reached only {speedup:.2f}x single-process "
+            f"throughput on {os.cpu_count()} CPU(s) (need >= {required}x; "
+            f"with fewer CPUs than shards this gate only bounds overhead)")
+
+
+def test_shard_partition_cost(benchmark):
+    """Partitioning cost and cut quality (recorded into BENCH_shard.json)."""
+    graph, _, _ = _workload()
+    partition = benchmark(partition_graph, graph, NUM_SHARDS)
+    stats = partition.stats()
+    # BFS must stay meaningfully below the locality-oblivious baseline.
+    baseline = partition_graph(graph, NUM_SHARDS, method="hash").stats()
+    assert stats.cut_edges < baseline.cut_edges, (
+        f"BFS cut ({stats.cut_edges}) not below hash baseline "
+        f"({baseline.cut_edges})")
+    assert stats.balance <= 1.2, f"unbalanced partition: {stats.balance:.3f}"

@@ -18,7 +18,14 @@ the ratios goes unnoticed.  This script closes that gap:
   shared CI runners only the benchmarks' own *ratio* assertions (batched
   ≥ Nx sequential, coalesced ≥ Nx one-at-a-time) are trustworthy, so the
   smoke gate is "the ratio benchmarks pass at small sizes", nothing
-  machine-dependent.
+  machine-dependent;
+* ``--suite`` selects the benchmark suite: ``engine`` (the default —
+  SBP/batch/service kernels against ``BENCH_sbp.json``) or ``shard``
+  (the sharded-propagation benchmark against ``BENCH_shard.json``,
+  whose timings additionally depend on the host's core count).
+
+A missing, malformed or incomplete baseline fails *before* the
+benchmark run with a non-zero exit and an actionable message.
 
 Typical usage::
 
@@ -43,12 +50,28 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List
 
-DEFAULT_TARGETS = [
-    "benchmarks/test_bench_sbp_engine.py",
-    "benchmarks/test_bench_engine_batch.py",
-    "benchmarks/test_bench_service.py",
-]
-DEFAULT_BASELINE = "BENCH_sbp.json"
+#: Benchmark suites: pytest targets plus the baseline file they record
+#: into.  ``engine`` is the historical default (BENCH_sbp.json); the
+#: ``shard`` suite gates the sharded-propagation kernels separately
+#: (BENCH_shard.json) because its timings depend on core count, not
+#: just the host's single-thread speed.
+SUITES = {
+    "engine": {
+        "targets": [
+            "benchmarks/test_bench_sbp_engine.py",
+            "benchmarks/test_bench_engine_batch.py",
+            "benchmarks/test_bench_service.py",
+        ],
+        "baseline": "BENCH_sbp.json",
+    },
+    "shard": {
+        "targets": ["benchmarks/test_bench_shard.py"],
+        "baseline": "BENCH_shard.json",
+    },
+}
+DEFAULT_SUITE = "engine"
+DEFAULT_TARGETS = SUITES[DEFAULT_SUITE]["targets"]
+DEFAULT_BASELINE = SUITES[DEFAULT_SUITE]["baseline"]
 DEFAULT_THRESHOLD = 0.20
 #: Absolute slowdown (seconds) a kernel must additionally exceed before the
 #: percentage gate fails it — scheduler jitter routinely exceeds 20% on
@@ -106,18 +129,53 @@ def record(baseline_path: Path, kernels: Dict[str, float],
         print(f"  {name}: {seconds * 1e3:.3f} ms")
 
 
-def compare(baseline_path: Path, kernels: Dict[str, float],
-            threshold_override: float | None = None,
-            min_delta_override: float | None = None) -> int:
+def load_baseline(baseline_path: Path) -> dict:
+    """Load and validate a baseline file, exiting non-zero on any defect.
+
+    Called *before* the (slow) benchmark run so a missing or malformed
+    baseline fails immediately with an actionable message instead of a
+    raw ``KeyError`` after minutes of benchmarking.
+    """
     if not baseline_path.exists():
         raise SystemExit(f"{baseline_path} does not exist - run with --record "
                          "first to establish a baseline")
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{baseline_path} is not valid JSON ({error}); "
+                         "re-record it with --record")
+    if not isinstance(baseline, dict):
+        raise SystemExit(f"{baseline_path} must contain a JSON object, "
+                         f"got {type(baseline).__name__}; re-record it "
+                         "with --record")
+    kernels = baseline.get("kernels")
+    if not isinstance(kernels, dict) or not kernels:
+        raise SystemExit(f"{baseline_path} has no 'kernels' table - it is "
+                         "not a bench_record baseline; re-record it with "
+                         "--record")
+    for name, entry in kernels.items():
+        if not isinstance(entry, dict) or "min_seconds" not in entry:
+            raise SystemExit(f"{baseline_path}: kernel {name!r} has no "
+                             "'min_seconds' entry; re-record the baseline "
+                             "with --record")
+        try:
+            float(entry["min_seconds"])
+        except (TypeError, ValueError):
+            raise SystemExit(f"{baseline_path}: kernel {name!r} has a "
+                             f"non-numeric min_seconds "
+                             f"({entry['min_seconds']!r}); re-record the "
+                             "baseline with --record")
+    return baseline
+
+
+def compare(baseline: dict, kernels: Dict[str, float],
+            threshold_override: float | None = None,
+            min_delta_override: float | None = None) -> int:
     threshold = threshold_override if threshold_override is not None \
         else float(baseline.get("threshold", DEFAULT_THRESHOLD))
     min_delta = min_delta_override if min_delta_override is not None \
         else float(baseline.get("min_delta_seconds", DEFAULT_MIN_DELTA))
-    recorded: Dict[str, Dict[str, float]] = baseline.get("kernels", {})
+    recorded: Dict[str, Dict[str, float]] = baseline["kernels"]
     failures = 0
     print(f"comparing {len(recorded)} recorded kernels "
           f"(regression threshold: +{threshold:.0%}, "
@@ -164,8 +222,14 @@ def main(argv: List[str] | None = None) -> int:
                              "--bench-max-index 1) and gate only on the "
                              "benchmarks' ratio assertions - no absolute "
                              "baselines (for shared CI runners)")
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
-                        help=f"baseline file path (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--suite", choices=sorted(SUITES),
+                        default=DEFAULT_SUITE,
+                        help="benchmark suite: default targets and baseline "
+                             "file ('engine' -> BENCH_sbp.json, 'shard' -> "
+                             "BENCH_shard.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file path (default: the suite's "
+                             f"baseline, e.g. {DEFAULT_BASELINE})")
     parser.add_argument("--threshold", type=float, default=None,
                         help="allowed slowdown fraction (default: 0.20 = 20%% "
                              "when recording; the baseline's recorded value "
@@ -185,19 +249,24 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--smoke baselines would be meaningless - record on a "
                      "quiet host at full size instead")
     root = repo_root()
-    baseline_path = Path(arguments.baseline)
+    suite = SUITES[arguments.suite]
+    baseline_path = Path(arguments.baseline if arguments.baseline is not None
+                         else suite["baseline"])
     if not baseline_path.is_absolute():
         baseline_path = root / baseline_path
+    baseline = None
+    if not arguments.record and not arguments.smoke:
+        # Validate the baseline *before* the slow benchmark run: a
+        # missing file or malformed table exits non-zero right here.
+        baseline = load_baseline(baseline_path)
     targets = list(arguments.targets)
     if not targets:
-        targets = list(DEFAULT_TARGETS)
-        if not arguments.record and not arguments.smoke \
-                and baseline_path.exists():
+        targets = list(suite["targets"])
+        if baseline is not None:
             # Compare against exactly what the baseline recorded, so a
             # baseline taken over custom targets is not spuriously failed
             # for kernels the default targets never run.
-            recorded_targets = json.loads(
-                baseline_path.read_text(encoding="utf-8")).get("targets")
+            recorded_targets = baseline.get("targets")
             if recorded_targets:
                 targets = list(recorded_targets)
     kernels = run_benchmarks(root, targets, smoke=arguments.smoke)
@@ -214,7 +283,7 @@ def main(argv: List[str] | None = None) -> int:
                else DEFAULT_MIN_DELTA,
                targets)
         return 0
-    return compare(baseline_path, kernels,
+    return compare(baseline, kernels,
                    threshold_override=arguments.threshold,
                    min_delta_override=arguments.min_delta)
 

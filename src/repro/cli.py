@@ -21,6 +21,11 @@ The CLI mirrors how the paper's artifacts would be used from a shell:
     are micro-batched through the engine (see
     :mod:`repro.service.protocol` for the operations).
 
+``python -m repro partition``
+    Split a graph into shards (BFS edge-cut or hash baseline) and report
+    cut size, balance and halo volume — the quantities that decide
+    whether sharded propagation (``label --shards``) pays off.
+
 Every command works on plain text files and prints plain text, so results can
 be piped into other tools.
 """
@@ -51,6 +56,42 @@ METHODS: Dict[str, Callable] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (clear error on nonsense values)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (clear error on nonsense values)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    """argparse type: a finite float >= 0 (clear error on nonsense values)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not np.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text}")
+    return value
+
+
 def _load_coupling(path: Path, epsilon: float) -> CouplingMatrix:
     """Load a coupling matrix from a JSON file.
 
@@ -69,16 +110,41 @@ def _load_coupling(path: Path, epsilon: float) -> CouplingMatrix:
     raise ReproError("coupling file must contain a 'residual' or 'stochastic' matrix")
 
 
+def _label_sharded(args: argparse.Namespace, graph, coupling, explicit):
+    """Run one labeling query through the shard subsystem (``--shards p``)."""
+    from repro import shard
+
+    if args.method not in ("linbp", "linbp*"):
+        raise ReproError(
+            f"--shards requires a LinBP-family method (linbp, linbp*); "
+            f"{args.method!r} has no block-Jacobi form")
+    partition = shard.partition_graph(graph, args.shards,
+                                      method=args.partition_method)
+    plan = shard.get_sharded_plan(partition, coupling,
+                                  echo_cancellation=args.method == "linbp")
+    if args.shard_executor == "pool":
+        with shard.ShardWorkerPool(partition) as executor:
+            return shard.run_sharded_batch(
+                plan, [explicit], max_iterations=args.max_iterations,
+                executor=executor)[0]
+    return shard.run_sharded_batch(plan, [explicit],
+                                   max_iterations=args.max_iterations)[0]
+
+
 def _command_label(args: argparse.Namespace) -> int:
     graph = graph_io.read_edge_list(args.graph, num_nodes=args.num_nodes)
     coupling = _load_coupling(args.coupling, args.epsilon)
     explicit = graph_io.read_belief_table(args.beliefs, num_nodes=graph.num_nodes,
                                           num_classes=coupling.num_classes)
-    method = METHODS[args.method]
-    if args.method in ("bp", "linbp", "linbp*"):
-        result = method(graph, coupling, explicit, max_iterations=args.max_iterations)
+    if args.shards > 1:
+        result = _label_sharded(args, graph, coupling, explicit)
     else:
-        result = method(graph, coupling, explicit)
+        method = METHODS[args.method]
+        if args.method in ("bp", "linbp", "linbp*"):
+            result = method(graph, coupling, explicit,
+                            max_iterations=args.max_iterations)
+        else:
+            result = method(graph, coupling, explicit)
     print(result.summary())
     labels = result.hard_labels()
     if args.output:
@@ -143,6 +209,26 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_partition(args: argparse.Namespace) -> int:
+    from repro import shard
+
+    graph = graph_io.read_edge_list(args.graph, num_nodes=args.num_nodes)
+    partition = shard.partition_graph(graph, args.shards, method=args.method)
+    print(partition.describe())
+    if args.compare:
+        other = "hash" if args.method == "bfs" else "bfs"
+        baseline = shard.partition_graph(graph, args.shards, method=other)
+        stats, other_stats = partition.stats(), baseline.stats()
+        print(f"vs {other}: cut edges {other_stats.cut_edges} "
+              f"({other_stats.cut_fraction:.1%}), "
+              f"balance {other_stats.balance:.3f}, "
+              f"halo volume {other_stats.halo_total}")
+        if stats.cut_edges < other_stats.cut_edges:
+            saved = 1.0 - stats.cut_edges / other_stats.cut_edges
+            print(f"{stats.method} cuts {saved:.1%} fewer edges than {other}")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import LineProtocolServer, ServiceSession, serve_stream
 
@@ -197,6 +283,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the final belief table to this path")
     label.add_argument("--limit", type=int, default=20,
                        help="print at most this many node labels (0 = all)")
+    label.add_argument("--shards", type=_positive_int, default=1,
+                       help="run the propagation sharded over this many "
+                            "partitions (LinBP family only; default: 1 = "
+                            "single-matrix engine)")
+    label.add_argument("--partition-method", choices=["bfs", "hash"],
+                       default="bfs",
+                       help="partitioner for --shards > 1 (default: bfs)")
+    label.add_argument("--shard-executor", choices=["pool", "sequential"],
+                       default="pool",
+                       help="run shards on a multiprocessing pool or "
+                            "in-process (default: pool)")
     label.set_defaults(handler=_command_label)
 
     analyze = subparsers.add_parser(
@@ -215,6 +312,24 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--output", type=Path, default=None)
     experiment.set_defaults(handler=_command_experiment)
 
+    partition = subparsers.add_parser(
+        "partition", help="split a graph into shards; report cut size and "
+                          "balance")
+    partition.add_argument("--graph", required=True, type=Path,
+                           help="edge list file: 'source target [weight]' "
+                                "per line")
+    partition.add_argument("--shards", required=True, type=_positive_int,
+                           help="number of shards (>= 1)")
+    partition.add_argument("--method", choices=["bfs", "hash"], default="bfs",
+                           help="partitioner: BFS edge-cut or hash baseline "
+                                "(default: bfs)")
+    partition.add_argument("--num-nodes", type=int, default=None,
+                           help="total number of nodes (default: inferred)")
+    partition.add_argument("--compare", action="store_true",
+                           help="also partition with the other method and "
+                                "report the cut-size difference")
+    partition.set_defaults(handler=_command_partition)
+
     serve = subparsers.add_parser(
         "serve", help="run the propagation service (JSON line protocol)")
     serve.add_argument("--port", type=int, default=None,
@@ -222,16 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: serve stdin/stdout)")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address for --port (default: 127.0.0.1)")
-    serve.add_argument("--window-ms", type=float, default=2.0,
+    serve.add_argument("--window-ms", type=_non_negative_float, default=2.0,
                        help="micro-batching collection window in ms "
                             "(0 disables coalescing; default: 2)")
-    serve.add_argument("--max-batch", type=int, default=16,
+    serve.add_argument("--max-batch", type=_positive_int, default=16,
                        help="dispatch a batch early at this size (default: 16)")
-    serve.add_argument("--result-ttl", type=float, default=300.0,
+    serve.add_argument("--result-ttl", type=_non_negative_float, default=300.0,
                        help="result cache TTL in seconds (0 = no expiry; "
                             "default: 300)")
-    serve.add_argument("--result-cache-size", type=int, default=256,
-                       help="result cache LRU capacity (default: 256)")
+    serve.add_argument("--result-cache-size", type=_non_negative_int,
+                       default=256,
+                       help="result cache LRU capacity (0 disables result "
+                            "caching; default: 256)")
     serve.set_defaults(handler=_command_serve)
     return parser
 

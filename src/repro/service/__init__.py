@@ -28,7 +28,11 @@ from repro.service.coalescer import MicroBatcher
 from repro.service.harness import HarnessRun, ServiceHarness
 from repro.service.protocol import ServiceSession
 from repro.service.server import LineProtocolServer, serve_stream
-from repro.service.service import GraphSnapshot, PropagationService
+from repro.service.service import (
+    GraphSnapshot,
+    PropagationService,
+    ShardedSnapshot,
+)
 
 __all__ = [
     "MicroBatcher",
@@ -38,5 +42,6 @@ __all__ = [
     "LineProtocolServer",
     "serve_stream",
     "GraphSnapshot",
+    "ShardedSnapshot",
     "PropagationService",
 ]

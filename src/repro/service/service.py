@@ -68,8 +68,11 @@ from repro.engine import sbp_plan as engine_sbp
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Edge, Graph
 from repro.service.coalescer import MicroBatcher
+from repro.shard import block_engine as shard_engine
+from repro.shard import pool as shard_pool
+from repro.shard.partition import GraphPartition, partition_graph
 
-__all__ = ["GraphSnapshot", "PropagationService"]
+__all__ = ["GraphSnapshot", "ShardedSnapshot", "PropagationService"]
 
 #: Methods the service can route; values are (solver family, echo flag).
 _METHODS: Dict[str, Tuple[str, bool]] = {
@@ -90,6 +93,23 @@ class GraphSnapshot:
     name: str
     version: int
     graph: Graph
+
+
+@dataclass(frozen=True)
+class ShardedSnapshot(GraphSnapshot):
+    """A graph snapshot carrying its shard partition.
+
+    Installed by services created with ``shards=p > 1``: registration and
+    every edge mutation (which builds a successor graph) repartition the
+    new graph, so the partition is always exactly as current as the
+    snapshot it rides on.  LinBP-family queries against a sharded
+    snapshot dispatch through the block engine
+    (:func:`repro.shard.block_engine.run_sharded_batch`); SBP queries
+    keep the single-matrix path (the single-pass geodesic sweep has no
+    block-Jacobi analogue).
+    """
+
+    partition: GraphPartition
 
 
 class _MaintainedView:
@@ -128,6 +148,11 @@ class _GraphEntry:
         self.snapshot = snapshot
         self.views: Dict[str, _MaintainedView] = {}
         self.lock = threading.RLock()
+        # Sharded execution state: the (lazily created) shard executor for
+        # the current snapshot's partition.  ``executor_lock`` serialises
+        # executor use — a worker pool runs one batch at a time.
+        self.executor = None
+        self.executor_lock = threading.Lock()
 
 
 class PropagationService:
@@ -143,12 +168,35 @@ class PropagationService:
         TTL keeps results until evicted by LRU or a graph update.
     clock:
         Monotonic clock, injectable for tests (drives the TTL).
+    shards:
+        Number of shards per registered graph.  ``1`` (default) keeps
+        the single-matrix engine; ``p > 1`` partitions every graph on
+        registration (and re-partitions on every edge mutation) and
+        routes LinBP-family queries through the block engine.
+    shard_method:
+        Partitioner for sharded graphs (``"bfs"`` or ``"hash"``, see
+        :func:`repro.shard.partition.partition_graph`).
+    shard_executor:
+        ``"pool"`` (default) runs shards on a
+        :class:`~repro.shard.pool.ShardWorkerPool` of worker processes;
+        ``"sequential"`` keeps everything in-process (deterministic,
+        debuggable, no extra processes).  Pools are created lazily per
+        graph, survive across queries, and are torn down when the graph
+        is re-partitioned, unregistered, or the service is closed.
     """
 
     def __init__(self, window_seconds: float = 0.002, max_batch: int = 16,
                  result_cache_size: int = 256,
                  result_ttl_seconds: Optional[float] = 300.0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 shards: int = 1, shard_method: str = "bfs",
+                 shard_executor: str = "pool"):
+        if shards < 1:
+            raise ValidationError("shards must be >= 1")
+        if shard_executor not in ("pool", "sequential"):
+            raise ValidationError(
+                f"unknown shard_executor {shard_executor!r}; expected "
+                f"'pool' or 'sequential'")
         self._lock = threading.RLock()
         self._graphs: Dict[str, _GraphEntry] = {}
         self.batcher = MicroBatcher(window_seconds=window_seconds,
@@ -157,24 +205,69 @@ class PropagationService:
             result_cache_size, ttl_seconds=result_ttl_seconds, clock=clock)
         self._queries = 0
         self._updates = 0
+        self._shards = int(shards)
+        self._shard_method = shard_method
+        self._shard_executor = shard_executor
 
     # ------------------------------------------------------------------ #
     # graph registry and snapshots
     # ------------------------------------------------------------------ #
     def register_graph(self, name: str, graph: Graph) -> GraphSnapshot:
-        """Register ``graph`` under ``name`` at version 0."""
+        """Register ``graph`` under ``name`` at version 0.
+
+        On a sharded service (``shards > 1``) the graph is partitioned
+        here — the one-time cost that every subsequent query amortises —
+        and the snapshot is a :class:`ShardedSnapshot`.
+        """
+        snapshot = self._build_snapshot(name, 0, graph)
         with self._lock:
             if name in self._graphs:
                 raise ValidationError(f"graph {name!r} is already registered")
-            snapshot = GraphSnapshot(name=name, version=0, graph=graph)
             self._graphs[name] = _GraphEntry(snapshot)
             return snapshot
 
     def unregister_graph(self, name: str) -> None:
-        """Drop a graph, its views, and (via weakrefs) its cached results."""
+        """Drop a graph, its views, executors and cached results."""
         with self._lock:
-            if self._graphs.pop(name, None) is None:
+            entry = self._graphs.pop(name, None)
+            if entry is None:
                 raise ValidationError(f"unknown graph {name!r}")
+        self._close_entry_executor(entry)
+
+    def close(self) -> None:
+        """Shut down every shard executor (idempotent).
+
+        Only needed on sharded services with the pool executor (worker
+        processes and shared-memory segments are OS resources); safe to
+        call on any service.  Registered graphs stay queryable — the
+        next sharded query lazily builds a fresh executor.
+        """
+        with self._lock:
+            entries = list(self._graphs.values())
+        for entry in entries:
+            self._close_entry_executor(entry)
+
+    def __enter__(self) -> "PropagationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _build_snapshot(self, name: str, version: int,
+                        graph: Graph) -> GraphSnapshot:
+        if self._shards > 1:
+            partition = partition_graph(graph, self._shards,
+                                        method=self._shard_method)
+            return ShardedSnapshot(name=name, version=version, graph=graph,
+                                   partition=partition)
+        return GraphSnapshot(name=name, version=version, graph=graph)
+
+    @staticmethod
+    def _close_entry_executor(entry: "_GraphEntry") -> None:
+        with entry.executor_lock:
+            executor, entry.executor = entry.executor, None
+        if executor is not None:
+            executor.close()
 
     def snapshot(self, name: str) -> GraphSnapshot:
         """The current immutable snapshot of a registered graph."""
@@ -215,7 +308,8 @@ class PropagationService:
                 f"unknown method {method!r}; expected one of "
                 f"{sorted(_METHODS)}")
         family, echo = _METHODS[method]
-        snapshot = self.snapshot(graph_name)
+        entry = self._entry(graph_name)
+        snapshot = entry.snapshot
         explicit = np.ascontiguousarray(explicit_residuals, dtype=np.float64)
         expected = (snapshot.graph.num_nodes, coupling.num_classes)
         if explicit.shape != expected:
@@ -254,10 +348,16 @@ class PropagationService:
                          coupling_id)
 
             def dispatch(items: List[object]) -> Sequence[PropagationResult]:
+                explicits = [item[0] for item in items]
+                if isinstance(snapshot, ShardedSnapshot):
+                    return self._dispatch_sharded(
+                        entry, snapshot, coupling, echo, explicits,
+                        max_iterations=max_iterations, tolerance=tolerance,
+                        num_iterations=num_iterations)
                 plan = engine_plan.get_plan(snapshot.graph, coupling,
                                             echo_cancellation=echo)
                 return engine_batch.run_batch(
-                    plan, [item[0] for item in items],
+                    plan, explicits,
                     max_iterations=max_iterations, tolerance=tolerance,
                     num_iterations=num_iterations)
 
@@ -270,6 +370,69 @@ class PropagationService:
 
         return self.batcher.submit(batch_key, (explicit, result_key),
                                    dispatch_and_cache)
+
+    # ------------------------------------------------------------------ #
+    # sharded execution
+    # ------------------------------------------------------------------ #
+    def _dispatch_sharded(self, entry: "_GraphEntry",
+                          snapshot: "ShardedSnapshot",
+                          coupling: CouplingMatrix, echo: bool,
+                          explicits: List[np.ndarray],
+                          max_iterations: int, tolerance: float,
+                          num_iterations: Optional[int]
+                          ) -> Sequence[PropagationResult]:
+        """Run one coalesced batch through the shard block engine.
+
+        The graph entry's executor (worker pool or sequential) is
+        created lazily and reused across batches; executor use is
+        serialised by the entry's executor lock (one batch at a time per
+        graph — the pool owns a single set of belief buffers).  A batch
+        wider than the pool's buffer capacity falls back to a one-off
+        in-process execution rather than failing.
+        """
+        plan = shard_engine.get_sharded_plan(snapshot.partition, coupling,
+                                             echo_cancellation=echo)
+        width = len(explicits) * coupling.num_classes
+        with entry.executor_lock:
+            executor = entry.executor
+            if executor is None \
+                    or executor.partition is not snapshot.partition:
+                if executor is not None:
+                    executor.close()
+                executor = self._make_executor(snapshot.partition,
+                                               coupling.num_classes)
+                entry.executor = executor
+            capacity = getattr(executor, "capacity", None)
+            if capacity is None or width <= capacity:
+                return shard_engine.run_sharded_batch(
+                    plan, explicits, max_iterations=max_iterations,
+                    tolerance=tolerance, num_iterations=num_iterations,
+                    executor=executor)
+        return shard_engine.run_sharded_batch(
+            plan, explicits, max_iterations=max_iterations,
+            tolerance=tolerance, num_iterations=num_iterations)
+
+    def _make_executor(self, partition: GraphPartition, num_classes: int):
+        """Build the configured shard executor for one partition.
+
+        The pool's buffer capacity is sized so a full coalesced batch
+        (``max_batch`` queries) of the *triggering* coupling's classes
+        fits; a later coupling with more classes than this falls back to
+        the in-process path for its oversized batches.  Pool creation
+        can fail on platforms without working ``multiprocessing``/
+        ``shared_memory`` (or in sandboxes denying process spawns); the
+        service degrades to the in-process executor rather than failing
+        queries.
+        """
+        if self._shard_executor == "pool":
+            try:
+                return shard_pool.ShardWorkerPool(
+                    partition,
+                    max_columns=max(shard_pool.DEFAULT_MAX_COLUMNS,
+                                    self.batcher.max_batch * num_classes))
+            except (OSError, ValueError, ImportError):
+                pass
+        return shard_engine.SequentialShardExecutor(partition)
 
     # ------------------------------------------------------------------ #
     # maintained views
@@ -383,12 +546,25 @@ class PropagationService:
                 for view in entry.views.values():
                     view.last_result = \
                         view.runner.add_explicit_beliefs(new_beliefs)
-            snapshot = GraphSnapshot(name=graph_name, version=old.version + 1,
-                                     graph=graph)
+            if graph is old.graph and isinstance(old, ShardedSnapshot):
+                # Belief-only updates keep the graph object: reuse the
+                # partition (and, downstream, the live executor).
+                snapshot = ShardedSnapshot(name=graph_name,
+                                           version=old.version + 1,
+                                           graph=graph,
+                                           partition=old.partition)
+            else:
+                snapshot = self._build_snapshot(graph_name, old.version + 1,
+                                                graph)
             entry.snapshot = snapshot
             with self._lock:
                 self._updates += 1
-            return snapshot
+        if graph is not old.graph:
+            # Edge mutations installed a new graph (and, when sharded, a
+            # new partition): retire the executor built for the old
+            # partition.  The next sharded query builds a fresh one.
+            self._close_entry_executor(entry)
+        return snapshot
 
     @staticmethod
     def _check_belief_update(graph: Graph, view: _MaintainedView,
@@ -430,8 +606,24 @@ class PropagationService:
             queries, updates = self._queries, self._updates
         versions = {}
         views = {}
+        shard_info = {}
         for name, entry in entries.items():
             versions[name] = entry.snapshot.version
+            snapshot = entry.snapshot
+            if isinstance(snapshot, ShardedSnapshot):
+                partition_stats = snapshot.partition.stats()
+                # Plain read: the lock is held for whole batches, and a
+                # stats call must not stall behind a running dispatch.
+                executor = entry.executor
+                shard_info[name] = {
+                    "num_shards": partition_stats.num_shards,
+                    "method": partition_stats.method,
+                    "cut_edges": partition_stats.cut_edges,
+                    "cut_fraction": partition_stats.cut_fraction,
+                    "balance": partition_stats.balance,
+                    "executor": type(executor).__name__
+                    if executor is not None else None,
+                }
             # View dicts mutate under the per-graph lock (create_view), so
             # read them under the same lock to keep iteration safe.
             with entry.lock:
@@ -446,6 +638,7 @@ class PropagationService:
             "updates": updates,
             "graphs": versions,
             "views": views,
+            "shards": shard_info,
             "coalescer": dict(self.batcher.stats),
             "result_cache": {"size": len(self.results),
                              **self.results.stats},

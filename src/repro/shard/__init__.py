@@ -1,0 +1,48 @@
+"""Sharded propagation: partition the graph, sweep blocks, pool workers.
+
+The scaling step beyond one CSR matrix (ROADMAP north star): split the
+graph into ``p`` row blocks with halo maps
+(:mod:`repro.shard.partition`), run LinBP as synchronous block-Jacobi
+sweeps that are equivalent to the single-matrix iteration to 1e-10
+(:mod:`repro.shard.block_engine`), and execute the shards on a
+``multiprocessing`` pool whose halo exchange rides ``shared_memory``
+belief buffers with zero copies (:mod:`repro.shard.pool`).
+
+Entry points: :func:`partition_graph` → :func:`get_sharded_plan` →
+:func:`run_sharded_batch` (optionally with a :class:`ShardWorkerPool`
+executor); the service layer wires these behind
+``PropagationService(shards=p)``, and the CLI exposes
+``repro partition`` and ``repro label --shards``.
+"""
+
+from repro.shard.block_engine import (
+    SequentialShardExecutor,
+    ShardedPlan,
+    get_sharded_plan,
+    run_sharded_batch,
+)
+from repro.shard.partition import (
+    GraphPartition,
+    PartitionStats,
+    ShardBlock,
+    bfs_assignment,
+    hash_assignment,
+    partition_from_assignment,
+    partition_graph,
+)
+from repro.shard.pool import ShardWorkerPool
+
+__all__ = [
+    "GraphPartition",
+    "PartitionStats",
+    "ShardBlock",
+    "bfs_assignment",
+    "hash_assignment",
+    "partition_from_assignment",
+    "partition_graph",
+    "ShardedPlan",
+    "get_sharded_plan",
+    "run_sharded_batch",
+    "SequentialShardExecutor",
+    "ShardWorkerPool",
+]

@@ -1,0 +1,391 @@
+"""Block-Jacobi LinBP sweeps over a partitioned graph.
+
+The LinBP update (Eq. 6) for a row block ``s`` of the partition reads
+
+    B̂_s ← Ê_s + A_s·(B̂ Ĥ) − diag(d_s)·(B̂_s Ĥ²)
+
+where ``A_s`` is the shard's ``n_s x (n_s + h_s)`` local CSR block and
+``B̂`` on the right-hand side is the *previous* sweep's beliefs of the
+shard's columns (owned first, halo after).  Because every shard's rows
+are complete, one synchronous pass over all shards computes exactly the
+same update as the single-matrix iteration of
+:func:`repro.engine.batch.run_batch` — the only difference is the
+per-shard column ordering of the sparse accumulations, i.e. pure
+floating-point round-off (≪ 1e-12; the equivalence tests assert 1e-10).
+
+Three layers live here:
+
+* :class:`ShardedPlan` — the per-``(partition, coupling, echo)`` bundle
+  (shard blocks shared with the partition, contiguous Ĥ and Ĥ²),
+  memoised by :func:`get_sharded_plan` in the engine's plan-cache style;
+* :func:`shard_step` — one shard's update into caller-provided buffers,
+  the kernel both executors run (in-process or in a worker process);
+* :func:`run_sharded_batch` — the driver: per-shard residuals reduce to
+  the same per-query stopping test as ``run_batch`` (each query
+  converges when *every* shard's block change drops below tolerance),
+  with identical freezing, history and iteration accounting.
+
+Executors plug in via three methods — ``load``, ``step``, ``beliefs``
+(see :class:`SequentialShardExecutor`, the in-process fallback used for
+``p=1``, debugging and platforms without ``multiprocessing``;
+:class:`repro.shard.pool.ShardWorkerPool` is the parallel one).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import PropagationResult
+from repro.coupling.matrices import CouplingMatrix
+from repro.engine import kernels
+from repro.engine import plan as engine_plan
+from repro.exceptions import NotConvergentParametersError, ValidationError
+from repro.shard.partition import GraphPartition, ShardBlock
+
+__all__ = ["ShardedPlan", "get_sharded_plan", "shard_step",
+           "SequentialShardExecutor", "run_sharded_batch"]
+
+
+class ShardedPlan:
+    """Precomputed artifacts for block-Jacobi propagation on one partition.
+
+    The partition is held only *weakly* — like
+    :class:`repro.engine.plan.PropagationPlan` holds its graph — so a
+    plan sitting in the bounded plan cache never pins a retired
+    partition (whose shard blocks duplicate the adjacency) or its graph
+    in memory.  Callers that run a plan always hold the partition
+    themselves (a service snapshot, an executor, a local variable), so
+    live plans are unaffected.  The plan adds the scaled coupling
+    factors in the contiguous layout the kernels want, plus lazy access
+    to the exact Lemma 8 convergence criterion (computed on the *global*
+    plan — the block iteration is the same linear operator, so the
+    criterion transfers verbatim).
+    """
+
+    def __init__(self, partition: GraphPartition, coupling: CouplingMatrix,
+                 echo_cancellation: bool = True):
+        self._partition_ref = weakref.ref(partition)
+        self.coupling = coupling
+        self.echo_cancellation = bool(echo_cancellation)
+        self.residual: np.ndarray = np.ascontiguousarray(coupling.residual)
+        self.residual_squared: np.ndarray = \
+            np.ascontiguousarray(coupling.residual_squared)
+
+    @property
+    def partition(self) -> Optional[GraphPartition]:
+        """The partition this plan was built for (None once collected)."""
+        return self._partition_ref()
+
+    def _live_partition(self) -> GraphPartition:
+        partition = self._partition_ref()
+        if partition is None:
+            raise ValidationError(
+                "the partition this sharded plan was built for has been "
+                "garbage collected; rebuild the plan with "
+                "get_sharded_plan() on a live partition")
+        return partition
+
+    @property
+    def blocks(self) -> List[ShardBlock]:
+        """The partition's shard blocks."""
+        return self._live_partition().blocks
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards ``p``."""
+        return self._live_partition().num_shards
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._live_partition().num_nodes
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes ``k``."""
+        return self.residual.shape[0]
+
+    @property
+    def method_name(self) -> str:
+        """``"LinBP"`` or ``"LinBP*"`` depending on echo cancellation."""
+        return "LinBP" if self.echo_cancellation else "LinBP*"
+
+    def is_exactly_convergent(self) -> bool:
+        """Exact Lemma 8 criterion, delegated to the global plan.
+
+        The sharded sweep applies the same update matrix as the
+        single-matrix iteration, so convergence is governed by the same
+        spectral radius; the global plan (cached by the engine) computes
+        and memoises it.
+        """
+        return engine_plan.get_plan(
+            self._live_partition().graph, self.coupling,
+            echo_cancellation=self.echo_cancellation).is_exactly_convergent()
+
+    def check_explicit(self, explicit_residuals: np.ndarray) -> np.ndarray:
+        """Validate one ``n x k`` explicit-belief matrix against the plan."""
+        explicit = np.asarray(explicit_residuals, dtype=np.float64)
+        if explicit.ndim != 2:
+            raise ValidationError("explicit beliefs must be a 2-D matrix")
+        if explicit.shape != (self.num_nodes, self.num_classes):
+            raise ValidationError(
+                f"expected a {self.num_nodes} x {self.num_classes} explicit "
+                f"matrix, got {explicit.shape[0]} x {explicit.shape[1]}")
+        return explicit
+
+
+_sharded_plan_cache = engine_plan.GraphKeyedCache(engine_plan.PLAN_CACHE_SIZE)
+engine_plan.register_auxiliary_cache(
+    _sharded_plan_cache.clear,
+    lambda: {"shard_size": len(_sharded_plan_cache),
+             "shard_hits": _sharded_plan_cache.stats["hits"],
+             "shard_misses": _sharded_plan_cache.stats["misses"]})
+
+
+def get_sharded_plan(partition: GraphPartition, coupling: CouplingMatrix,
+                     echo_cancellation: bool = True) -> ShardedPlan:
+    """Return the (cached) sharded plan for a partition and coupling.
+
+    Keyed like :func:`repro.engine.plan.get_plan` — graph identity plus
+    coupling values plus the echo flag — with the partition's identity
+    added, so repartitioning the same graph yields a fresh plan.
+    """
+    key_suffix = (id(partition), bool(echo_cancellation)) \
+        + engine_plan.coupling_key(coupling)
+    plan = _sharded_plan_cache.lookup(partition.graph, key_suffix)
+    if plan is None or plan.partition is not partition:
+        plan = ShardedPlan(partition, coupling,
+                           echo_cancellation=echo_cancellation)
+        _sharded_plan_cache.store(partition.graph, key_suffix, plan)
+    return plan
+
+
+# ---------------------------------------------------------------------- #
+# the per-shard kernel
+# ---------------------------------------------------------------------- #
+class ShardBuffers:
+    """Per-shard working memory for :func:`shard_step` (allocated once).
+
+    ``gather`` holds the shard's column beliefs (owned + halo) pulled
+    from the global front buffer — the halo exchange; ``explicit`` the
+    shard's rows of the stacked Ê block; ``out`` the new owned beliefs;
+    ``scratch`` the coupling products.
+    """
+
+    def __init__(self, block: ShardBlock, width: int):
+        self.width = int(width)
+        self.gather = np.empty((block.column_nodes.size, width))
+        self.scratch = np.empty((block.column_nodes.size, width))
+        self.out = np.empty((block.num_nodes, width))
+        self.scratch_own = np.empty((block.num_nodes, width))
+        self.explicit = np.empty((block.num_nodes, width))
+
+    def load_explicit(self, block: ShardBlock, explicit_stack: np.ndarray
+                      ) -> None:
+        """Pull the shard's rows of the stacked explicit block."""
+        np.take(explicit_stack, block.nodes, axis=0, out=self.explicit)
+
+
+def shard_step(block: ShardBlock, buffers: ShardBuffers, front: np.ndarray,
+               back: np.ndarray, residual: np.ndarray,
+               residual_squared: np.ndarray, echo_cancellation: bool,
+               num_classes: int) -> np.ndarray:
+    """One block-Jacobi update of a single shard, in place.
+
+    Reads the previous beliefs of the shard's columns from ``front``
+    (the halo exchange is this gather), writes the new owned beliefs
+    into ``back`` and returns the shard's per-query maximum absolute
+    change — the local residual the convergence reduction combines.
+    """
+    if block.num_nodes == 0:
+        return np.zeros(buffers.width // num_classes)
+    np.take(front, block.column_nodes, axis=0, out=buffers.gather)
+    kernels.block_matmul(buffers.gather, residual, out=buffers.scratch,
+                         num_classes=num_classes)
+    np.copyto(buffers.out, buffers.explicit)
+    kernels.spmm(block.adjacency, buffers.scratch, out=buffers.out,
+                 accumulate=True)
+    own_front = buffers.gather[:block.num_nodes]
+    if echo_cancellation:
+        kernels.block_matmul(own_front, residual_squared,
+                             out=buffers.scratch_own,
+                             num_classes=num_classes)
+        kernels.scale_rows(block.degrees, buffers.scratch_own,
+                           out=buffers.scratch_own)
+        np.subtract(buffers.out, buffers.scratch_own, out=buffers.out)
+    changes = kernels.max_abs_change_per_query(
+        buffers.out, own_front, buffers.scratch_own,
+        num_classes=num_classes)
+    back[block.nodes] = buffers.out
+    return changes
+
+
+# ---------------------------------------------------------------------- #
+# the in-process executor
+# ---------------------------------------------------------------------- #
+class SequentialShardExecutor:
+    """Run every shard in-process, one after another.
+
+    The fallback executor: same sweep semantics as the worker pool
+    (synchronous block-Jacobi, per-shard residuals) without processes or
+    shared memory — the right choice for ``p=1``, for debugging, and on
+    platforms where ``multiprocessing`` is unavailable.  Reusable across
+    batches of the same width via repeated :meth:`load`.
+    """
+
+    def __init__(self, partition: GraphPartition):
+        self.partition = partition
+        self._plan: Optional[ShardedPlan] = None
+        self._front: Optional[np.ndarray] = None
+        self._back: Optional[np.ndarray] = None
+        self._buffers: List[ShardBuffers] = []
+        self._width = -1
+
+    def load(self, plan: ShardedPlan, explicit_stack: np.ndarray,
+             initial_stack: Optional[np.ndarray] = None) -> None:
+        """Begin a new batch: stacked Ê block and optional start beliefs."""
+        if plan.partition is not self.partition:
+            raise ValidationError(
+                "plan was built for a different partition")
+        width = explicit_stack.shape[1]
+        if width != self._width:
+            self._front = np.empty((plan.num_nodes, width))
+            self._back = np.empty((plan.num_nodes, width))
+            self._buffers = [ShardBuffers(block, width)
+                             for block in plan.blocks]
+            self._width = width
+        self._plan = plan
+        if initial_stack is None:
+            self._front[...] = 0.0
+        else:
+            np.copyto(self._front, initial_stack)
+        for block, buffers in zip(plan.blocks, self._buffers):
+            buffers.load_explicit(block, explicit_stack)
+
+    def step(self) -> np.ndarray:
+        """One synchronous sweep over all shards; per-query max change."""
+        plan = self._plan
+        k = plan.num_classes
+        changes = np.zeros(self._width // k)
+        for block, buffers in zip(plan.blocks, self._buffers):
+            local = shard_step(block, buffers, self._front, self._back,
+                               plan.residual, plan.residual_squared,
+                               plan.echo_cancellation, k)
+            np.maximum(changes, local, out=changes)
+        self._front, self._back = self._back, self._front
+        return changes
+
+    def beliefs(self, query: int) -> np.ndarray:
+        """Copy of the current ``n x k`` belief block of one query."""
+        k = self._plan.num_classes
+        return self._front[:, query * k:(query + 1) * k].copy()
+
+    def close(self) -> None:
+        """Release buffers (symmetry with the worker pool; no-op-ish)."""
+        self._front = self._back = None
+        self._buffers = []
+        self._width = -1
+
+    def __enter__(self) -> "SequentialShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# the driver
+# ---------------------------------------------------------------------- #
+def run_sharded_batch(plan: ShardedPlan,
+                      explicit_list: Sequence[np.ndarray],
+                      initial_beliefs: Optional[Sequence[Optional[np.ndarray]]]
+                      = None,
+                      max_iterations: int = 100, tolerance: float = 1e-10,
+                      num_iterations: Optional[int] = None,
+                      require_convergence: bool = False,
+                      executor=None) -> List[PropagationResult]:
+    """Propagate a batch of queries with block-Jacobi sweeps over shards.
+
+    Mirrors :func:`repro.engine.batch.run_batch` — same stopping rules,
+    per-query freezing, histories and result metadata — but executes the
+    update as per-shard block sweeps with halo exchange, through
+    ``executor`` (a :class:`SequentialShardExecutor` is created when none
+    is given; pass a :class:`repro.shard.pool.ShardWorkerPool` to run
+    shards in parallel processes).  Beliefs agree with the single-matrix
+    iteration to floating-point round-off (equivalence-tested at 1e-10).
+    """
+    if max_iterations < 1:
+        raise ValidationError("max_iterations must be >= 1")
+    if tolerance <= 0:
+        raise ValidationError("tolerance must be positive")
+    if len(explicit_list) == 0:
+        return []
+    if require_convergence and not plan.is_exactly_convergent():
+        raise NotConvergentParametersError(
+            f"{plan.method_name} does not converge for this coupling scale "
+            f"(Lemma 8); reduce epsilon")
+    q, k = len(explicit_list), plan.num_classes
+    checked = [plan.check_explicit(explicit) for explicit in explicit_list]
+    explicit_stack = np.concatenate(checked, axis=1) if plan.num_nodes \
+        else np.zeros((0, q * k))
+    initial_stack = None
+    if initial_beliefs is not None:
+        initial_stack = np.zeros_like(explicit_stack)
+        for query, start in enumerate(initial_beliefs):
+            if start is None:
+                continue
+            start = np.asarray(start, dtype=np.float64)
+            if start.shape != checked[query].shape:
+                raise ValidationError(
+                    "initial beliefs must have the same shape as Ê")
+            initial_stack[:, query * k:(query + 1) * k] = start
+    owns_executor = executor is None
+    if owns_executor:
+        executor = SequentialShardExecutor(plan._live_partition())
+    try:
+        executor.load(plan, explicit_stack, initial_stack)
+        fixed_iterations = num_iterations is not None
+        budget = num_iterations if fixed_iterations else max_iterations
+        histories: List[List[float]] = [[] for _ in range(q)]
+        iterations = np.zeros(q, dtype=int)
+        converged = np.zeros(q, dtype=bool)
+        frozen: List[Optional[np.ndarray]] = [None] * q
+        for _ in range(budget):
+            if not fixed_iterations and converged.all():
+                break
+            changes = executor.step()
+            for query in np.nonzero(~converged)[0]:
+                iterations[query] += 1
+                histories[query].append(float(changes[query]))
+                if not fixed_iterations and changes[query] < tolerance:
+                    converged[query] = True
+                    # Freeze at the sweep that converged: later sweeps
+                    # keep the remaining queries moving, this one's
+                    # beliefs are already final.
+                    frozen[query] = executor.beliefs(query)
+        results: List[PropagationResult] = []
+        for query in range(q):
+            beliefs = frozen[query] if frozen[query] is not None \
+                else executor.beliefs(query)
+            history = histories[query]
+            done = bool(converged[query]) if not fixed_iterations \
+                else bool(history and history[-1] < tolerance)
+            results.append(PropagationResult(
+                beliefs=beliefs,
+                method=plan.method_name,
+                iterations=int(iterations[query]),
+                converged=done,
+                residual_history=history,
+                extra={"echo_cancellation": plan.echo_cancellation,
+                       "epsilon": plan.coupling.epsilon,
+                       "engine": "shard",
+                       "num_shards": plan.num_shards,
+                       "batch_size": q},
+            ))
+        return results
+    finally:
+        if owns_executor:
+            executor.close()

@@ -1,0 +1,414 @@
+"""Graph partitioning for sharded propagation.
+
+The paper's scaling pitch (Sections 1 and 7) is that linearized
+propagation reduces to sparse matrix kernels over ``A`` — kernels that
+row-partition naturally: every node's update reads its own explicit
+belief, its own degree, and the beliefs of its neighbours.  Splitting
+the node set into ``p`` shards therefore splits the iteration into ``p``
+independent row-block updates whose only coupling is the *halo*: the
+out-of-shard neighbours whose beliefs a shard must import each sweep.
+
+:func:`partition_graph` computes such a split and packages everything
+the block engine (:mod:`repro.shard.block_engine`) and the worker pool
+(:mod:`repro.shard.pool`) need:
+
+* an **assignment** of every node to exactly one shard, produced either
+  by a BFS/greedy grower that keeps shards balanced while preferring
+  edge-locality (``method="bfs"``, the default) or by a multiplicative
+  hash (``method="hash"``, the locality-oblivious baseline — useful to
+  quantify what the BFS cut buys);
+* one :class:`ShardBlock` per shard holding the shard's rows of ``A`` as
+  a local CSR block whose columns are ``[owned nodes | halo nodes]``,
+  the squared-weight degrees of the owned rows, and the global↔local
+  index translation;
+* :class:`PartitionStats` — cut size, cut fraction, balance and halo
+  volume, the quantities ``repro partition`` reports and
+  ``docs/performance.md`` uses to discuss when sharding pays off.
+
+Invariants (property-tested in ``tests/property/test_property_shard.py``):
+every node is owned by exactly one shard; every undirected edge is
+either *internal* to exactly one shard or appears in the halo maps of
+exactly the two shards it connects; local→global→local translation is
+the identity on every block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+
+__all__ = ["ShardBlock", "PartitionStats", "GraphPartition",
+           "partition_graph", "partition_from_assignment",
+           "hash_assignment", "bfs_assignment"]
+
+#: Knuth's multiplicative hash constant (2^32 / golden ratio), used by the
+#: locality-oblivious baseline assignment.
+_HASH_MULTIPLIER = np.uint64(2654435761)
+_HASH_MASK = np.uint64(0xFFFFFFFF)
+
+
+def _sorted_positions(sorted_ids: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Positions of ``values`` in the sorted array, ``-1`` where absent."""
+    if sorted_ids.size == 0:
+        return np.full(values.shape, -1, dtype=np.int64)
+    positions = np.clip(np.searchsorted(sorted_ids, values),
+                        0, sorted_ids.size - 1)
+    return np.where(sorted_ids[positions] == values, positions, -1)
+
+
+class ShardBlock:
+    """One shard's slice of the graph: owned rows, halo columns, degrees.
+
+    Attributes
+    ----------
+    shard_id:
+        Index of this shard in ``0..p-1``.
+    nodes:
+        Sorted global ids of the nodes *owned* by this shard (the rows
+        this shard updates).
+    halo_nodes:
+        Sorted global ids of the out-of-shard neighbours whose beliefs
+        this shard imports every sweep (the halo map).
+    halo_owners:
+        Owner shard of each halo node, aligned with ``halo_nodes``.
+    column_nodes:
+        ``concat(nodes, halo_nodes)`` — the global ids of the local CSR
+        block's columns, in column order.  Gathering these rows of the
+        global belief buffer *is* the halo exchange.
+    adjacency:
+        The owned rows of ``A`` as an ``n_s x (n_s + h_s)`` CSR block in
+        local column indexing.  Rows are complete (every neighbour of an
+        owned node appears, owned or halo), so a block-Jacobi sweep over
+        all shards reproduces the global iteration exactly.
+    degrees:
+        Squared-weight degree vector of the owned nodes (the echo term
+        needs the *global* degrees, which equal the local row sums of
+        squares because rows are complete).
+    """
+
+    def __init__(self, shard_id: int, nodes: np.ndarray, halo_nodes: np.ndarray,
+                 halo_owners: np.ndarray, adjacency: sp.csr_matrix,
+                 degrees: np.ndarray):
+        self.shard_id = int(shard_id)
+        self.nodes = nodes
+        self.halo_nodes = halo_nodes
+        self.halo_owners = halo_owners
+        self.column_nodes = np.concatenate([nodes, halo_nodes]) \
+            if nodes.size or halo_nodes.size else np.empty(0, dtype=nodes.dtype)
+        self.adjacency = adjacency
+        self.degrees = degrees
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of owned nodes ``n_s``."""
+        return int(self.nodes.size)
+
+    @property
+    def num_halo(self) -> int:
+        """Number of imported halo nodes ``h_s``."""
+        return int(self.halo_nodes.size)
+
+    @property
+    def num_internal_entries(self) -> int:
+        """Adjacency entries whose both endpoints are owned by this shard."""
+        return int(np.count_nonzero(self.adjacency.indices < self.num_nodes))
+
+    @property
+    def num_cut_entries(self) -> int:
+        """Adjacency entries that cross into the halo."""
+        return int(self.adjacency.nnz - self.num_internal_entries)
+
+    # ------------------------------------------------------------------ #
+    # index translation
+    # ------------------------------------------------------------------ #
+    def to_local(self, global_ids: np.ndarray) -> np.ndarray:
+        """Translate global node ids to local *column* indices.
+
+        Owned nodes map to ``0..n_s-1``, halo nodes to ``n_s..n_s+h_s-1``.
+        Ids that are neither owned nor in the halo raise.
+        """
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        owned = _sorted_positions(self.nodes, global_ids)
+        halo = _sorted_positions(self.halo_nodes, global_ids)
+        local = np.where(owned >= 0, owned,
+                         np.where(halo >= 0, self.num_nodes + halo, -1))
+        if (local < 0).any():
+            missing = global_ids[local < 0][:5]
+            raise ValidationError(
+                f"nodes {missing.tolist()} are neither owned by nor in "
+                f"the halo of shard {self.shard_id}")
+        return local
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Translate local column indices back to global node ids."""
+        local_ids = np.asarray(local_ids, dtype=np.int64)
+        if local_ids.size and (local_ids.min() < 0
+                               or local_ids.max() >= self.column_nodes.size):
+            raise ValidationError(
+                f"local ids out of range [0, {self.column_nodes.size}) "
+                f"for shard {self.shard_id}")
+        return self.column_nodes[local_ids]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Cut-size / balance report of one partition (``repro partition``).
+
+    ``cut_edges`` counts each undirected cross-shard edge once;
+    ``cut_fraction`` is relative to all undirected edges.  ``balance`` is
+    the largest shard size over the ideal ``n/p`` (1.0 = perfect);
+    ``halo_total`` sums the per-shard halo sizes (the volume exchanged
+    per sweep).
+    """
+
+    num_shards: int
+    num_nodes: int
+    num_edges: int
+    cut_edges: int
+    shard_sizes: tuple
+    halo_sizes: tuple
+    method: str
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of undirected edges crossing shards."""
+        return self.cut_edges / self.num_edges if self.num_edges else 0.0
+
+    @property
+    def balance(self) -> float:
+        """Largest shard size over the ideal ``n/p`` (1.0 = perfectly even)."""
+        if not self.num_nodes:
+            return 1.0
+        ideal = self.num_nodes / self.num_shards
+        return max(self.shard_sizes) / ideal if ideal else 1.0
+
+    @property
+    def halo_total(self) -> int:
+        """Total number of halo imports across shards (per-sweep volume)."""
+        return int(sum(self.halo_sizes))
+
+
+class GraphPartition:
+    """A graph split into ``p`` shard blocks plus the assignment vector.
+
+    Built by :func:`partition_graph`.  The partition keeps a strong
+    reference to the graph (the shard blocks share its adjacency data),
+    so a partition pins its graph alive — exactly what the sharded
+    snapshots in the service layer need.
+    """
+
+    def __init__(self, graph: Graph, assignment: np.ndarray,
+                 blocks: List[ShardBlock], method: str):
+        self.graph = graph
+        self.assignment = assignment
+        self.blocks = blocks
+        self.method = method
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards ``p``."""
+        return len(self.blocks)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes of the underlying graph."""
+        return self.graph.num_nodes
+
+    def shard_of(self, node: int) -> int:
+        """Owner shard of a global node id."""
+        if node < 0 or node >= self.assignment.size:
+            raise ValidationError(
+                f"node {node} out of range [0, {self.assignment.size})")
+        return int(self.assignment[node])
+
+    def stats(self) -> PartitionStats:
+        """Cut/balance statistics of this partition."""
+        cut_entries = sum(block.num_cut_entries for block in self.blocks)
+        return PartitionStats(
+            num_shards=self.num_shards,
+            num_nodes=self.graph.num_nodes,
+            num_edges=self.graph.num_edges,
+            cut_edges=cut_entries // 2,
+            shard_sizes=tuple(block.num_nodes for block in self.blocks),
+            halo_sizes=tuple(block.num_halo for block in self.blocks),
+            method=self.method,
+        )
+
+    def describe(self) -> str:
+        """Multi-line plain-text report (used by ``repro partition``)."""
+        stats = self.stats()
+        lines = [
+            f"partition: {stats.num_shards} shards ({stats.method}), "
+            f"{stats.num_nodes} nodes, {stats.num_edges} undirected edges",
+            f"cut edges:    {stats.cut_edges} "
+            f"({stats.cut_fraction:.1%} of all edges)",
+            f"balance:      {stats.balance:.3f} "
+            f"(largest shard / ideal n/p)",
+            f"halo volume:  {stats.halo_total} imports per sweep",
+        ]
+        for block in self.blocks:
+            lines.append(
+                f"  shard {block.shard_id}: {block.num_nodes} nodes, "
+                f"{block.adjacency.nnz} adjacency entries "
+                f"({block.num_cut_entries} cut), halo {block.num_halo}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# assignment strategies
+# ---------------------------------------------------------------------- #
+def hash_assignment(num_nodes: int, num_shards: int) -> np.ndarray:
+    """Locality-oblivious baseline: multiplicative hash of the node id.
+
+    Spreads nodes evenly (max imbalance ±1 in expectation) but ignores
+    the edge structure entirely, so nearly every edge is cut on graphs
+    with locality — the baseline ``repro partition`` compares against.
+    """
+    ids = np.arange(num_nodes, dtype=np.uint64)
+    mixed = (ids * _HASH_MULTIPLIER) & _HASH_MASK
+    return ((mixed >> np.uint64(8)) % np.uint64(num_shards)).astype(np.int64)
+
+
+def bfs_assignment(graph: Graph, num_shards: int) -> np.ndarray:
+    """Greedy BFS region growing: balanced shards with local edge-cuts.
+
+    Shards are grown one at a time to a capacity of ``ceil(n/p)`` nodes:
+    starting from the highest-degree unassigned seed, the frontier is
+    expanded breadth-first (so a shard is a union of BFS balls — most
+    edges stay internal); when a component is exhausted the next
+    unassigned seed continues the same shard.  The last shard absorbs
+    any remainder, keeping balance within one capacity of ideal.
+    """
+    n = graph.num_nodes
+    adjacency = graph.adjacency
+    assignment = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return assignment
+    capacity = -(-n // num_shards)  # ceil(n / p)
+    degrees = np.diff(adjacency.indptr)
+    # Seeds are tried in decreasing degree (stable for determinism):
+    # high-degree hubs anchor shards, which keeps their big neighbour
+    # lists internal instead of spraying them across the cut.
+    seed_order = np.argsort(-degrees, kind="stable")
+    seed_cursor = 0
+    assigned = 0
+    for shard in range(num_shards):
+        remaining = n - assigned
+        if remaining == 0:
+            break
+        # Leave enough nodes for the remaining shards to be non-empty
+        # when possible, but never exceed the balanced capacity.
+        budget = min(capacity, remaining - (num_shards - shard - 1))
+        budget = max(budget, 1 if remaining else 0)
+        size = 0
+        while size < budget:
+            while seed_cursor < n and assignment[seed_order[seed_cursor]] >= 0:
+                seed_cursor += 1
+            if seed_cursor >= n:
+                break
+            frontier = np.array([seed_order[seed_cursor]], dtype=np.int64)
+            assignment[frontier] = shard
+            size += 1
+            while frontier.size and size < budget:
+                # One vectorised gather of all frontier rows (the same
+                # trick as graphs.geodesic.neighbor_gather, inlined to
+                # keep this module's dependencies flat).
+                starts = adjacency.indptr[frontier]
+                counts = adjacency.indptr[frontier + 1] - starts
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                positions = np.repeat(
+                    starts - np.concatenate(([0], np.cumsum(counts[:-1]))),
+                    counts) + np.arange(total)
+                neighbours = np.unique(adjacency.indices[positions])
+                fresh = neighbours[assignment[neighbours] < 0]
+                if not fresh.size:
+                    break
+                take = min(fresh.size, budget - size)
+                fresh = fresh[:take]
+                assignment[fresh] = shard
+                size += take
+                frontier = fresh
+        assigned += size
+    # Any stragglers (possible only when num_shards > n) stay unassigned
+    # above; hand them to the last shard for a total function.
+    leftovers = assignment < 0
+    if leftovers.any():
+        assignment[leftovers] = num_shards - 1
+    return assignment
+
+
+_ASSIGNERS = ("bfs", "hash")
+
+
+def partition_graph(graph: Graph, num_shards: int,
+                    method: str = "bfs") -> GraphPartition:
+    """Split ``graph`` into ``num_shards`` row blocks with halo maps.
+
+    ``method`` selects the assignment strategy: ``"bfs"`` (default)
+    grows balanced BFS regions to keep the cut small; ``"hash"`` is the
+    locality-oblivious baseline.  Every shard gets a :class:`ShardBlock`
+    with its rows of ``A`` in local column indexing (owned columns
+    first, halo columns after), its degree slice, and translation maps.
+
+    Shards may be empty when ``num_shards > num_nodes``; the block
+    engine treats empty blocks as no-ops.
+    """
+    if num_shards < 1:
+        raise ValidationError("num_shards must be >= 1")
+    if method not in _ASSIGNERS:
+        raise ValidationError(
+            f"unknown partition method {method!r}; expected one of "
+            f"{sorted(_ASSIGNERS)}")
+    if method == "hash":
+        assignment = hash_assignment(graph.num_nodes, num_shards)
+    else:
+        assignment = bfs_assignment(graph, num_shards)
+    return partition_from_assignment(graph, assignment, num_shards,
+                                     method=method)
+
+
+def partition_from_assignment(graph: Graph, assignment: np.ndarray,
+                              num_shards: int,
+                              method: str = "custom") -> GraphPartition:
+    """Build the shard blocks for an explicit node→shard assignment."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.num_nodes,):
+        raise ValidationError(
+            f"assignment must have shape ({graph.num_nodes},), "
+            f"got {assignment.shape}")
+    if assignment.size and (assignment.min() < 0
+                            or assignment.max() >= num_shards):
+        raise ValidationError(
+            f"assignment values must lie in [0, {num_shards})")
+    adjacency = graph.adjacency
+    if adjacency.dtype != np.float64:
+        adjacency = adjacency.astype(np.float64)
+    degrees = graph.degree_vector()
+    blocks: List[ShardBlock] = []
+    for shard in range(num_shards):
+        nodes = np.flatnonzero(assignment == shard).astype(np.int64)
+        rows = adjacency[nodes]
+        touched = np.unique(rows.indices) if rows.nnz \
+            else np.empty(0, dtype=np.int64)
+        halo = touched[assignment[touched] != shard].astype(np.int64)
+        column_nodes = np.concatenate([nodes, halo]) if nodes.size or halo.size \
+            else np.empty(0, dtype=np.int64)
+        lookup = np.full(graph.num_nodes, -1, dtype=np.int64)
+        lookup[column_nodes] = np.arange(column_nodes.size)
+        local = sp.csr_matrix(
+            (rows.data, lookup[rows.indices], rows.indptr),
+            shape=(nodes.size, column_nodes.size))
+        local.sort_indices()
+        blocks.append(ShardBlock(
+            shard_id=shard, nodes=nodes, halo_nodes=halo,
+            halo_owners=assignment[halo], adjacency=local,
+            degrees=degrees[nodes]))
+    return GraphPartition(graph, assignment, blocks, method=method)

@@ -1,0 +1,326 @@
+"""A multiprocessing worker pool executing shard sweeps over shared memory.
+
+Python's GIL serialises the dense/sparse kernels of the block engine in
+threads, so real parallel propagation takes processes.  The price of
+processes is normally serialisation: naive ``multiprocessing`` would
+pickle the belief matrices to every worker each sweep.  This pool makes
+the halo exchange **zero-copy** instead:
+
+* the ping-pong belief buffers (two parity buffers), the stacked
+  explicit block and the per-shard residual table live in
+  ``multiprocessing.shared_memory`` segments that every worker maps once
+  at startup;
+* a sweep is one tiny control message per worker (``("step",)`` over a
+  pipe); the worker gathers its column beliefs — owned and halo rows —
+  straight out of the shared front buffer, runs
+  :func:`repro.shard.block_engine.shard_step`, and scatters the new
+  owned rows into the shared back buffer;
+* parity alternates every sweep (even sweeps read buffer X and write
+  buffer Y, odd sweeps the reverse), so no buffer is ever copied or
+  swapped — workers and driver just agree on the sweep count.
+
+Workers are persistent: one pool serves many batches (the driver sends
+``("load", …)`` with the batch width and the coupling bytes — the only
+per-batch payload, a few hundred bytes).  Buffer capacity is fixed at
+pool creation (``max_columns``); a batch wider than the capacity is
+rejected so callers can fall back to the in-process executor.
+
+The pool implements the same ``load`` / ``step`` / ``beliefs`` executor
+contract as :class:`repro.shard.block_engine.SequentialShardExecutor`,
+so :func:`repro.shard.block_engine.run_sharded_batch` drives either
+interchangeably — and the results are identical to 1e-10 (tested).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.shard import block_engine
+from repro.shard.partition import GraphPartition, ShardBlock
+
+__all__ = ["ShardWorkerPool"]
+
+#: Default shared-buffer capacity in stacked columns (q·k); 64 covers a
+#: 16-query batch of 4-class couplings — the service's default max_batch.
+DEFAULT_MAX_COLUMNS = 64
+
+_STEP_TIMEOUT_SECONDS = 120.0
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting tracker ownership.
+
+    Before Python 3.13, *attaching* to a segment registers it with the
+    process's resource tracker just like creating it does, so worker
+    attachments would either double-unlink the segments the pool owner
+    manages (forked workers share the owner's tracker) or have spawned
+    workers' trackers reclaim live segments at worker exit.  Python 3.13
+    added ``track=False`` for exactly this; on older versions the
+    registration is suppressed for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class ShardWorkerPool:
+    """Executes shard sweeps on a pool of worker processes (one per shard).
+
+    Parameters
+    ----------
+    partition:
+        The :class:`GraphPartition` whose blocks the workers own.  Each
+        worker receives its block once at startup (free under ``fork``,
+        one pickle under ``spawn``) and keeps it for the pool's life.
+    max_columns:
+        Capacity of the shared belief buffers in stacked columns
+        (``q·k``).  Batches wider than this raise
+        :class:`~repro.exceptions.ValidationError` — callers fall back
+        to the sequential executor.
+    context:
+        ``multiprocessing`` context or start-method name; defaults to
+        the platform default (``fork`` on Linux).
+    """
+
+    def __init__(self, partition: GraphPartition,
+                 max_columns: int = DEFAULT_MAX_COLUMNS,
+                 context=None):
+        if max_columns < 1:
+            raise ValidationError("max_columns must be >= 1")
+        self.partition = partition
+        self.capacity = int(max_columns)
+        self._plan: Optional[block_engine.ShardedPlan] = None
+        self._width = 0
+        self._num_queries = 0
+        self._parity = 0
+        self._closed = False
+        n = partition.num_nodes
+        p = partition.num_shards
+        buffer_bytes = max(n * self.capacity * 8, 8)
+        self._segments = {}
+        self._connections: List = []
+        self._workers: List = []
+        try:
+            for key, size in (("even", buffer_bytes), ("odd", buffer_bytes),
+                              ("explicit", buffer_bytes),
+                              ("residual", max(p * self.capacity * 8, 8))):
+                self._segments[key] = shared_memory.SharedMemory(
+                    create=True, size=size)
+        except Exception:
+            self.close()
+            raise
+        self._even = np.ndarray((n, self.capacity), dtype=np.float64,
+                                buffer=self._segments["even"].buf)
+        self._odd = np.ndarray((n, self.capacity), dtype=np.float64,
+                               buffer=self._segments["odd"].buf)
+        self._explicit = np.ndarray((n, self.capacity), dtype=np.float64,
+                                    buffer=self._segments["explicit"].buf)
+        self._residuals = np.ndarray((p, self.capacity), dtype=np.float64,
+                                     buffer=self._segments["residual"].buf)
+        if context is None:
+            context = multiprocessing.get_context()
+        elif isinstance(context, str):
+            context = multiprocessing.get_context(context)
+        names = {key: segment.name
+                 for key, segment in self._segments.items()}
+        try:
+            for block in partition.blocks:
+                parent_end, child_end = context.Pipe()
+                worker = context.Process(
+                    target=_pool_worker, daemon=True,
+                    args=(block, n, p, self.capacity, names, child_end))
+                worker.start()
+                child_end.close()
+                self._connections.append(parent_end)
+                self._workers.append(worker)
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # executor contract (same as SequentialShardExecutor)
+    # ------------------------------------------------------------------ #
+    def load(self, plan: block_engine.ShardedPlan,
+             explicit_stack: np.ndarray,
+             initial_stack: Optional[np.ndarray] = None) -> None:
+        """Begin a new batch on the pool."""
+        self._ensure_open()
+        if plan.partition is not self.partition:
+            raise ValidationError("plan was built for a different partition")
+        width = int(explicit_stack.shape[1])
+        if width > self.capacity:
+            raise ValidationError(
+                f"batch width {width} exceeds the pool capacity "
+                f"{self.capacity} stacked columns; use a wider pool or the "
+                f"sequential executor")
+        self._plan = plan
+        self._width = width
+        self._num_queries = width // plan.num_classes
+        self._parity = 0
+        self._explicit[:, :width] = explicit_stack
+        if initial_stack is None:
+            self._even[:, :width] = 0.0
+        else:
+            self._even[:, :width] = initial_stack
+        self._broadcast(("load", width, plan.num_classes,
+                         plan.echo_cancellation,
+                         plan.residual.tobytes(),
+                         plan.residual_squared.tobytes()))
+
+    def step(self) -> np.ndarray:
+        """One parallel sweep; returns the per-query maximum change."""
+        self._ensure_open()
+        if self._plan is None:
+            raise ValidationError("load() a batch before stepping")
+        self._broadcast(("step",))
+        self._parity ^= 1
+        residuals = self._residuals[:, :self._num_queries]
+        return residuals.max(axis=0) if residuals.size \
+            else np.zeros(self._num_queries)
+
+    def beliefs(self, query: int) -> np.ndarray:
+        """Copy of the current ``n x k`` belief block of one query."""
+        k = self._plan.num_classes
+        front = self._even if self._parity == 0 else self._odd
+        return front[:, query * k:(query + 1) * k].copy()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the workers and release the shared segments (idempotent)."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for connection in getattr(self, "_connections", []):
+            try:
+                connection.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in getattr(self, "_workers", []):
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=5.0)
+        for connection in getattr(self, "_connections", []):
+            connection.close()
+        # Drop the numpy views before closing the mappings (an exported
+        # buffer keeps the mmap alive and SharedMemory.close would fail).
+        self._even = self._odd = self._explicit = self._residuals = None
+        for segment in getattr(self, "_segments", {}).values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ValidationError("the worker pool has been closed")
+
+    def _broadcast(self, message: tuple) -> None:
+        """Send one message to every worker and wait for all acks."""
+        for connection in self._connections:
+            connection.send(message)
+        for index, connection in enumerate(self._connections):
+            if not connection.poll(_STEP_TIMEOUT_SECONDS):
+                self.close()
+                raise RuntimeError(
+                    f"shard worker {index} did not answer within "
+                    f"{_STEP_TIMEOUT_SECONDS:.0f}s")
+            try:
+                reply = connection.recv()
+            except (EOFError, ConnectionResetError, OSError):
+                self.close()
+                raise RuntimeError(f"shard worker {index} died unexpectedly")
+            if reply[0] != "ok":
+                self.close()
+                raise RuntimeError(
+                    f"shard worker {index} failed:\n{reply[1]}")
+
+
+def _pool_worker(block: ShardBlock, num_nodes: int, num_shards: int,
+                 capacity: int, names: dict, connection) -> None:
+    """Worker process: attach the shared buffers, serve sweep messages."""
+    import traceback
+
+    segments = {key: _attach(name) for key, name in names.items()}
+    even = np.ndarray((num_nodes, capacity), dtype=np.float64,
+                      buffer=segments["even"].buf)
+    odd = np.ndarray((num_nodes, capacity), dtype=np.float64,
+                     buffer=segments["odd"].buf)
+    explicit = np.ndarray((num_nodes, capacity), dtype=np.float64,
+                          buffer=segments["explicit"].buf)
+    residuals = np.ndarray((num_shards, capacity), dtype=np.float64,
+                           buffer=segments["residual"].buf)
+    buffers = None
+    width = num_classes = 0
+    echo = True
+    coupling = coupling_squared = None
+    parity = 0
+    try:
+        while True:
+            message = connection.recv()
+            kind = message[0]
+            try:
+                if kind == "stop":
+                    break
+                if kind == "load":
+                    _, width, num_classes, echo, h_bytes, h2_bytes = message
+                    coupling = np.frombuffer(h_bytes).reshape(
+                        num_classes, num_classes)
+                    coupling_squared = np.frombuffer(h2_bytes).reshape(
+                        num_classes, num_classes)
+                    if buffers is None or buffers.width != width:
+                        buffers = block_engine.ShardBuffers(block, width)
+                    buffers.load_explicit(block, explicit[:, :width])
+                    parity = 0
+                elif kind == "step":
+                    front = even if parity == 0 else odd
+                    back = odd if parity == 0 else even
+                    changes = block_engine.shard_step(
+                        block, buffers, front[:, :width], back[:, :width],
+                        coupling, coupling_squared, echo, num_classes)
+                    residuals[block.shard_id, :changes.size] = changes
+                    parity ^= 1
+                else:  # pragma: no cover - protocol error
+                    raise ValueError(f"unknown message {kind!r}")
+                connection.send(("ok",))
+            except Exception:  # pragma: no cover - surfaced to the driver
+                connection.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        buffers = None
+        even = odd = explicit = residuals = None
+        for segment in segments.values():
+            segment.close()
+        connection.close()

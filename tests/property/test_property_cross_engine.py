@@ -80,6 +80,22 @@ class TestCrossEngineAgreement:
     @given(cross_engine_workloads())
     def test_top_beliefs_agree_between_engines(self, workload):
         graph, coupling, explicit = workload
-        matrix_top = sbp(graph, coupling, explicit).top_beliefs()
-        sql_top = sbp_sql(graph, coupling, explicit).top_beliefs()
-        assert matrix_top == sql_top
+        matrix_result = sbp(graph, coupling, explicit)
+        sql_result = sbp_sql(graph, coupling, explicit)
+        assert np.allclose(matrix_result.beliefs, sql_result.beliefs,
+                           atol=1e-10)
+        matrix_top = matrix_result.top_beliefs()
+        sql_top = sql_result.top_beliefs()
+        # top_beliefs() ties classes within 1e-10 of the row maximum; a
+        # class sitting *at* that boundary can land on either side from
+        # the two engines' (equal to 1e-10, not bit-identical) beliefs.
+        # Skip only those boundary rows — everywhere else the sets must
+        # match exactly.
+        gaps = np.max(matrix_result.beliefs, axis=1, keepdims=True) \
+            - matrix_result.beliefs
+        ambiguous = np.any((gaps > 1e-11) & (gaps < 1e-9), axis=1)
+        for node in range(graph.num_nodes):
+            if ambiguous[node]:
+                continue
+            assert matrix_top[node] == sql_top[node], (
+                f"top-belief sets disagree on node {node}")

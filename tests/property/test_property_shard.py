@@ -1,0 +1,121 @@
+"""Property-based partition invariants (ISSUE 5 satellite).
+
+For arbitrary small graphs and shard counts, both partitioners must
+satisfy the structural contract the block engine relies on:
+
+* node coverage — every node is owned by exactly one shard, and the
+  BFS and hash partitioners agree on which nodes exist (identical
+  coverage sets, trivially all of ``0..n-1``);
+* edge coverage — every undirected edge is either internal to exactly
+  one shard or crosses shards and then appears in the halo maps of
+  exactly its two endpoint shards;
+* index translation — local→global→local is the identity on every
+  block, and global→local→global recovers the original ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+from repro.shard import partition_graph
+
+
+@st.composite
+def graphs_and_shards(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=24))
+    num_shards = draw(st.integers(min_value=1, max_value=6))
+    pairs = st.tuples(st.integers(min_value=0, max_value=num_nodes - 1),
+                      st.integers(min_value=0, max_value=num_nodes - 1))
+    raw_edges = draw(st.lists(pairs, min_size=0, max_size=3 * num_nodes))
+    edges = [(s, t) for s, t in raw_edges if s != t]
+    graph = Graph.from_edges(edges, num_nodes=num_nodes)
+    return graph, num_shards
+
+
+class TestPartitionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs_and_shards())
+    def test_every_edge_in_exactly_one_shard_or_the_halo_map(self, workload):
+        graph, num_shards = workload
+        partition = partition_graph(graph, num_shards)
+        assignment = partition.assignment
+        internal = {block.shard_id: 0 for block in partition.blocks}
+        for block in partition.blocks:
+            internal[block.shard_id] = block.num_internal_entries
+            halo_set = set(block.halo_nodes.tolist())
+            # every cut column of the block is in its halo map
+            cut_columns = block.adjacency.indices[
+                block.adjacency.indices >= block.num_nodes]
+            for column in np.unique(cut_columns):
+                assert block.column_nodes[column] in halo_set
+        for edge in graph.edges():
+            owner_s = assignment[edge.source]
+            owner_t = assignment[edge.target]
+            source_block = partition.blocks[owner_s]
+            target_block = partition.blocks[owner_t]
+            if owner_s == owner_t:
+                # internal to exactly one shard: neither endpoint is in
+                # any halo map *for this edge* — the local row hits an
+                # owned column.
+                row = np.searchsorted(source_block.nodes, edge.source)
+                start = source_block.adjacency.indptr[row]
+                end = source_block.adjacency.indptr[row + 1]
+                columns = source_block.adjacency.indices[start:end]
+                target_local = source_block.to_local(
+                    np.array([edge.target]))[0]
+                assert target_local in columns
+                assert target_local < source_block.num_nodes
+            else:
+                # cut edge: each endpoint shard imports the other end
+                assert edge.target in source_block.halo_nodes
+                assert edge.source in target_block.halo_nodes
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs_and_shards())
+    def test_index_translation_round_trips(self, workload):
+        graph, num_shards = workload
+        partition = partition_graph(graph, num_shards)
+        for block in partition.blocks:
+            size = block.column_nodes.size
+            if not size:
+                continue
+            local = np.arange(size)
+            assert np.array_equal(block.to_local(block.to_global(local)),
+                                  local)
+            assert np.array_equal(
+                block.to_global(block.to_local(block.column_nodes)),
+                block.column_nodes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs_and_shards())
+    def test_hash_and_bfs_partitioners_agree_on_node_coverage(self, workload):
+        graph, num_shards = workload
+        bfs = partition_graph(graph, num_shards, method="bfs")
+        hashed = partition_graph(graph, num_shards, method="hash")
+        bfs_nodes = np.sort(np.concatenate(
+            [block.nodes for block in bfs.blocks]))
+        hash_nodes = np.sort(np.concatenate(
+            [block.nodes for block in hashed.blocks]))
+        assert np.array_equal(bfs_nodes, hash_nodes)
+        assert np.array_equal(bfs_nodes, np.arange(graph.num_nodes))
+        # and each covers every edge entry exactly once
+        for partition in (bfs, hashed):
+            entries = sum(block.adjacency.nnz for block in partition.blocks)
+            assert entries == graph.num_directed_edges
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_and_shards())
+    def test_shard_sizes_sum_and_stats_consistency(self, workload):
+        graph, num_shards = workload
+        assume(graph.num_edges > 0)
+        partition = partition_graph(graph, num_shards)
+        stats = partition.stats()
+        assert sum(stats.shard_sizes) == graph.num_nodes
+        assert 0 <= stats.cut_edges <= graph.num_edges
+        assert 0.0 <= stats.cut_fraction <= 1.0
+        internal_total = sum(block.num_internal_entries
+                             for block in partition.blocks)
+        assert internal_total // 2 + stats.cut_edges == graph.num_edges

@@ -1,0 +1,94 @@
+"""bench_record.py hardening: bad baselines fail fast, before any benchmark.
+
+These tests exercise the compare path's baseline validation through the
+real CLI (a subprocess, like CI runs it).  No benchmark ever runs — the
+whole point is that a missing or malformed baseline exits non-zero with
+an actionable message *immediately*.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "bench_record.py"
+
+
+def _run(*arguments):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *arguments],
+        capture_output=True, text=True, timeout=60)
+
+
+class TestBaselineValidation:
+    def test_missing_baseline_file_fails_with_message(self, tmp_path):
+        completed = _run("--compare", "--baseline",
+                         str(tmp_path / "BENCH_missing.json"))
+        assert completed.returncode != 0
+        assert "does not exist" in completed.stderr
+        assert "--record" in completed.stderr
+
+    def test_invalid_json_fails_with_message(self, tmp_path):
+        baseline = tmp_path / "BENCH_bad.json"
+        baseline.write_text("{not json")
+        completed = _run("--compare", "--baseline", str(baseline))
+        assert completed.returncode != 0
+        assert "not valid JSON" in completed.stderr
+
+    def test_missing_kernels_table_fails_with_message(self, tmp_path):
+        baseline = tmp_path / "BENCH_empty.json"
+        baseline.write_text(json.dumps({"threshold": 0.2}))
+        completed = _run("--compare", "--baseline", str(baseline))
+        assert completed.returncode != 0
+        assert "no 'kernels' table" in completed.stderr
+
+    def test_kernel_without_min_seconds_fails_with_message(self, tmp_path):
+        baseline = tmp_path / "BENCH_partial.json"
+        baseline.write_text(json.dumps(
+            {"kernels": {"test_something": {"mean_seconds": 1.0}}}))
+        completed = _run("--compare", "--baseline", str(baseline))
+        assert completed.returncode != 0
+        assert "min_seconds" in completed.stderr
+        assert "test_something" in completed.stderr
+
+    def test_non_numeric_min_seconds_fails_with_message(self, tmp_path):
+        baseline = tmp_path / "BENCH_text.json"
+        baseline.write_text(json.dumps(
+            {"kernels": {"k": {"min_seconds": "fast"}}}))
+        completed = _run("--compare", "--baseline", str(baseline))
+        assert completed.returncode != 0
+        assert "non-numeric" in completed.stderr
+
+    def test_record_and_smoke_are_mutually_exclusive(self):
+        completed = _run("--record", "--smoke")
+        assert completed.returncode != 0
+        assert "meaningless" in completed.stderr
+
+
+class TestSuites:
+    def test_shard_suite_defaults_to_shard_baseline(self, tmp_path):
+        # With no BENCH file at the given path, the error message names
+        # the resolved baseline — proving the suite switched defaults.
+        completed = _run("--compare", "--suite", "shard", "--baseline",
+                         str(tmp_path / "BENCH_shard.json"))
+        assert completed.returncode != 0
+        assert "BENCH_shard.json" in completed.stderr
+
+    def test_unknown_suite_rejected(self):
+        completed = _run("--compare", "--suite", "turbo")
+        assert completed.returncode != 0
+        assert "invalid choice" in completed.stderr
+
+    def test_repo_baselines_are_valid(self):
+        # The committed baselines must always pass validation.
+        sys.path.insert(0, str(SCRIPT.parent))
+        try:
+            import bench_record
+            for name in ("BENCH_sbp.json", "BENCH_shard.json"):
+                baseline = bench_record.load_baseline(REPO_ROOT / name)
+                assert baseline["kernels"]
+        finally:
+            sys.path.remove(str(SCRIPT.parent))

@@ -1,0 +1,178 @@
+"""Sharded service routing: ShardedSnapshot, executor lifecycle, equivalence."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.linbp import linbp
+from repro.coupling import synthetic_residual_matrix
+from repro.exceptions import ValidationError
+from repro.graphs import random_graph
+from repro.service import GraphSnapshot, PropagationService, ShardedSnapshot
+from repro.shard import SequentialShardExecutor
+
+
+@pytest.fixture
+def graph():
+    return random_graph(90, 0.07, seed=12)
+
+
+@pytest.fixture
+def coupling():
+    return synthetic_residual_matrix(epsilon=0.04)
+
+
+def _explicit(num_nodes, seed=0):
+    rng = np.random.default_rng(seed)
+    explicit = np.zeros((num_nodes, 3))
+    labeled = rng.choice(num_nodes, 8, replace=False)
+    values = rng.uniform(-0.1, 0.1, (8, 2))
+    explicit[labeled, 0] = values[:, 0]
+    explicit[labeled, 1] = values[:, 1]
+    explicit[labeled, 2] = -values.sum(axis=1)
+    return explicit
+
+
+class TestShardedRouting:
+    def test_register_installs_sharded_snapshot(self, graph):
+        with PropagationService(shards=3,
+                                shard_executor="sequential") as service:
+            snapshot = service.register_graph("g", graph)
+            assert isinstance(snapshot, ShardedSnapshot)
+            assert snapshot.partition.num_shards == 3
+            assert snapshot.partition.graph is graph
+
+    def test_unsharded_service_keeps_plain_snapshots(self, graph):
+        service = PropagationService()
+        snapshot = service.register_graph("g", graph)
+        assert type(snapshot) is GraphSnapshot
+
+    @pytest.mark.parametrize("executor", ["sequential", "pool"])
+    def test_query_matches_direct_linbp(self, graph, coupling, executor):
+        explicit = _explicit(graph.num_nodes)
+        direct = linbp(graph, coupling, explicit, num_iterations=10)
+        with PropagationService(window_seconds=0.0, shards=3,
+                                shard_executor=executor) as service:
+            service.register_graph("g", graph)
+            result = service.query("g", coupling, explicit,
+                                   num_iterations=10)
+            assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
+            assert result.extra["engine"] == "shard"
+            assert result.extra["num_shards"] == 3
+
+    def test_linbp_star_routes_sharded_too(self, graph, coupling):
+        from repro.core.linbp import linbp_star
+
+        explicit = _explicit(graph.num_nodes, seed=4)
+        direct = linbp_star(graph, coupling, explicit, num_iterations=8)
+        with PropagationService(window_seconds=0.0, shards=2,
+                                shard_executor="sequential") as service:
+            service.register_graph("g", graph)
+            result = service.query("g", coupling, explicit, method="linbp*",
+                                   num_iterations=8)
+            assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
+
+    def test_sbp_keeps_single_matrix_path(self, graph, coupling):
+        from repro.core.sbp import sbp
+
+        explicit = _explicit(graph.num_nodes, seed=5)
+        direct = sbp(graph, coupling, explicit)
+        with PropagationService(window_seconds=0.0, shards=3,
+                                shard_executor="sequential") as service:
+            service.register_graph("g", graph)
+            result = service.query("g", coupling, explicit, method="sbp")
+            assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
+            assert result.extra.get("engine") != "shard"
+
+    def test_concurrent_sharded_queries_coalesce_and_agree(self, graph,
+                                                           coupling):
+        explicits = [_explicit(graph.num_nodes, seed=s) for s in range(8)]
+        with PropagationService(window_seconds=0.02, max_batch=8,
+                                shards=2, result_ttl_seconds=None,
+                                result_cache_size=1,
+                                shard_executor="sequential") as service:
+            service.register_graph("g", graph)
+            results: list = [None] * len(explicits)
+
+            def worker(index):
+                results[index] = service.query(
+                    "g", coupling, explicits[index], num_iterations=8)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(len(explicits))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for index, result in enumerate(results):
+                direct = linbp(graph, coupling, explicits[index],
+                               num_iterations=8)
+                assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
+            assert service.stats()["coalescer"]["largest_batch"] >= 1
+
+
+class TestShardedLifecycle:
+    def test_update_repartitions_and_retires_executor(self, graph, coupling):
+        explicit = _explicit(graph.num_nodes, seed=2)
+        with PropagationService(window_seconds=0.0, shards=2,
+                                shard_executor="sequential") as service:
+            service.register_graph("g", graph)
+            service.query("g", coupling, explicit, num_iterations=5)
+            entry = service._entry("g")
+            first_executor = entry.executor
+            assert isinstance(first_executor, SequentialShardExecutor)
+            snapshot = service.update("g", new_edges=[(0, 89)])
+            assert isinstance(snapshot, ShardedSnapshot)
+            assert snapshot.version == 1
+            assert entry.executor is None  # retired with the old partition
+            direct = linbp(snapshot.graph, coupling, explicit,
+                           num_iterations=5)
+            result = service.query("g", coupling, explicit,
+                                   num_iterations=5)
+            assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
+            assert entry.executor is not first_executor
+
+    def test_belief_only_update_keeps_partition(self, graph, coupling):
+        explicit = _explicit(graph.num_nodes, seed=3)
+        with PropagationService(window_seconds=0.0, shards=2,
+                                shard_executor="sequential") as service:
+            service.register_graph("g", graph)
+            service.create_view("g", "v", coupling, explicit, method="sbp")
+            old_partition = service.snapshot("g").partition
+            service.update("g", new_beliefs={0: np.array([0.1, -0.05,
+                                                          -0.05])})
+            assert service.snapshot("g").partition is old_partition
+
+    def test_unregister_closes_executor(self, graph, coupling):
+        service = PropagationService(window_seconds=0.0, shards=2,
+                                     shard_executor="sequential")
+        service.register_graph("g", graph)
+        service.query("g", coupling, _explicit(graph.num_nodes),
+                      num_iterations=3)
+        entry = service._entry("g")
+        assert entry.executor is not None
+        service.unregister_graph("g")
+        assert entry.executor is None
+
+    def test_stats_report_shard_info(self, graph, coupling):
+        with PropagationService(window_seconds=0.0, shards=3,
+                                shard_executor="sequential") as service:
+            service.register_graph("g", graph)
+            stats = service.stats()
+            info = stats["shards"]["g"]
+            assert info["num_shards"] == 3
+            assert info["method"] == "bfs"
+            assert info["executor"] is None  # lazy: no query yet
+            service.query("g", coupling, _explicit(graph.num_nodes),
+                          num_iterations=3)
+            info = service.stats()["shards"]["g"]
+            assert info["executor"] == "SequentialShardExecutor"
+
+    def test_invalid_shard_parameters(self):
+        with pytest.raises(ValidationError):
+            PropagationService(shards=0)
+        with pytest.raises(ValidationError):
+            PropagationService(shards=2, shard_executor="threads")

@@ -1,0 +1,213 @@
+"""Block-Jacobi engine equivalence: sharded sweeps == single-matrix runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import fraud_matrix, synthetic_residual_matrix
+from repro.engine import batch as engine_batch
+from repro.engine import plan as engine_plan
+from repro.exceptions import NotConvergentParametersError, ValidationError
+from repro.graphs import grid_graph, random_graph, torus_graph
+from repro.shard import (
+    SequentialShardExecutor,
+    get_sharded_plan,
+    partition_graph,
+    run_sharded_batch,
+)
+
+
+def _query_batch(num_nodes, num_queries=3, num_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    explicits = []
+    for _ in range(num_queries):
+        explicit = np.zeros((num_nodes, num_classes))
+        labeled = rng.choice(num_nodes, max(num_nodes // 10, 1),
+                             replace=False)
+        values = rng.uniform(-0.1, 0.1, (labeled.size, num_classes - 1))
+        explicit[labeled, :-1] = values
+        explicit[labeled, -1] = -values.sum(axis=1)
+        explicits.append(explicit)
+    return explicits
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    @pytest.mark.parametrize("method", ["bfs", "hash"])
+    def test_matches_run_batch_to_tolerance(self, num_shards, method):
+        graph = random_graph(80, 0.08, seed=11)
+        coupling = synthetic_residual_matrix(epsilon=0.04)
+        explicits = _query_batch(80)
+        base = engine_batch.run_batch(
+            engine_plan.get_plan(graph, coupling), explicits,
+            max_iterations=100, tolerance=1e-10)
+        partition = partition_graph(graph, num_shards, method=method)
+        results = run_sharded_batch(
+            get_sharded_plan(partition, coupling), explicits,
+            max_iterations=100, tolerance=1e-10)
+        for sharded, single in zip(results, base):
+            assert np.abs(sharded.beliefs - single.beliefs).max() < 1e-10
+            assert sharded.iterations == single.iterations
+            assert sharded.converged == single.converged
+            assert len(sharded.residual_history) \
+                == len(single.residual_history)
+
+    def test_linbp_star_no_echo(self):
+        graph = torus_graph()
+        coupling = fraud_matrix(epsilon=0.1)
+        explicits = _query_batch(8, num_queries=2, seed=3)
+        base = engine_batch.run_batch(
+            engine_plan.get_plan(graph, coupling, echo_cancellation=False),
+            explicits, num_iterations=12)
+        partition = partition_graph(graph, 3)
+        results = run_sharded_batch(
+            get_sharded_plan(partition, coupling, echo_cancellation=False),
+            explicits, num_iterations=12)
+        for sharded, single in zip(results, base):
+            assert np.abs(sharded.beliefs - single.beliefs).max() < 1e-10
+            assert sharded.method == "LinBP*"
+
+    def test_fixed_iteration_mode(self):
+        graph = grid_graph(8, 8)
+        coupling = synthetic_residual_matrix(epsilon=0.05)
+        explicits = _query_batch(64, num_queries=2, seed=5)
+        base = engine_batch.run_batch(
+            engine_plan.get_plan(graph, coupling), explicits,
+            num_iterations=7)
+        partition = partition_graph(graph, 4)
+        results = run_sharded_batch(get_sharded_plan(partition, coupling),
+                                    explicits, num_iterations=7)
+        for sharded, single in zip(results, base):
+            assert np.abs(sharded.beliefs - single.beliefs).max() < 1e-10
+            assert sharded.iterations == 7
+
+    def test_initial_beliefs_warm_start(self):
+        graph = grid_graph(6, 6)
+        coupling = synthetic_residual_matrix(epsilon=0.05)
+        explicits = _query_batch(36, num_queries=2, seed=7)
+        starts = [explicits[0] * 0.5, None]
+        base = engine_batch.run_batch(
+            engine_plan.get_plan(graph, coupling), explicits,
+            initial_beliefs=starts, num_iterations=5)
+        partition = partition_graph(graph, 2)
+        results = run_sharded_batch(get_sharded_plan(partition, coupling),
+                                    explicits, initial_beliefs=starts,
+                                    num_iterations=5)
+        for sharded, single in zip(results, base):
+            assert np.abs(sharded.beliefs - single.beliefs).max() < 1e-10
+
+    def test_per_query_freezing_matches(self):
+        # one query converges much earlier than the other; its beliefs
+        # must be frozen at its own convergence sweep, as in run_batch.
+        graph = grid_graph(7, 7)
+        coupling = synthetic_residual_matrix(epsilon=0.02)
+        fast = np.zeros((49, 3))
+        fast[0] = [1e-9, -5e-10, -5e-10]
+        slow = _query_batch(49, num_queries=1, seed=9)[0]
+        base = engine_batch.run_batch(
+            engine_plan.get_plan(graph, coupling), [fast, slow],
+            max_iterations=200, tolerance=1e-10)
+        partition = partition_graph(graph, 3)
+        results = run_sharded_batch(get_sharded_plan(partition, coupling),
+                                    [fast, slow], max_iterations=200,
+                                    tolerance=1e-10)
+        assert results[0].iterations < results[1].iterations
+        for sharded, single in zip(results, base):
+            assert np.abs(sharded.beliefs - single.beliefs).max() < 1e-10
+            assert sharded.iterations == single.iterations
+
+    def test_extra_metadata(self):
+        graph = grid_graph(5, 5)
+        coupling = synthetic_residual_matrix(epsilon=0.05)
+        partition = partition_graph(graph, 2)
+        result = run_sharded_batch(get_sharded_plan(partition, coupling),
+                                   _query_batch(25, num_queries=1),
+                                   num_iterations=3)[0]
+        assert result.extra["engine"] == "shard"
+        assert result.extra["num_shards"] == 2
+
+
+class TestPlanAndValidation:
+    def test_plan_cache_reuses_and_invalidates(self):
+        graph = grid_graph(5, 5)
+        coupling = synthetic_residual_matrix(epsilon=0.05)
+        partition = partition_graph(graph, 2)
+        first = get_sharded_plan(partition, coupling)
+        assert get_sharded_plan(partition, coupling) is first
+        other_partition = partition_graph(graph, 2)
+        assert get_sharded_plan(other_partition, coupling) is not first
+
+    def test_cached_plan_does_not_pin_the_partition(self):
+        import gc
+        import weakref
+
+        graph = grid_graph(5, 5)
+        coupling = synthetic_residual_matrix(epsilon=0.05)
+        partition = partition_graph(graph, 2)
+        plan = get_sharded_plan(partition, coupling)
+        partition_ref = weakref.ref(partition)
+        del partition
+        gc.collect()
+        # the cache holds the plan, but the partition (and its duplicated
+        # CSR blocks) must be collectable regardless
+        assert partition_ref() is None
+        assert plan.partition is None
+        with pytest.raises(ValidationError):
+            run_sharded_batch(plan, [np.zeros((25, 3))], num_iterations=1)
+
+    def test_empty_batch(self):
+        graph = grid_graph(4, 4)
+        partition = partition_graph(graph, 2)
+        plan = get_sharded_plan(partition,
+                                synthetic_residual_matrix(epsilon=0.05))
+        assert run_sharded_batch(plan, []) == []
+
+    def test_bad_explicit_shape(self):
+        graph = grid_graph(4, 4)
+        partition = partition_graph(graph, 2)
+        plan = get_sharded_plan(partition,
+                                synthetic_residual_matrix(epsilon=0.05))
+        with pytest.raises(ValidationError):
+            run_sharded_batch(plan, [np.zeros((5, 3))])
+
+    def test_bad_parameters(self):
+        graph = grid_graph(4, 4)
+        partition = partition_graph(graph, 2)
+        plan = get_sharded_plan(partition,
+                                synthetic_residual_matrix(epsilon=0.05))
+        explicit = [np.zeros((16, 3))]
+        with pytest.raises(ValidationError):
+            run_sharded_batch(plan, explicit, max_iterations=0)
+        with pytest.raises(ValidationError):
+            run_sharded_batch(plan, explicit, tolerance=0.0)
+
+    def test_require_convergence_raises_on_divergent_scale(self):
+        graph = grid_graph(6, 6)
+        coupling = synthetic_residual_matrix(epsilon=10.0)
+        partition = partition_graph(graph, 2)
+        plan = get_sharded_plan(partition, coupling)
+        with pytest.raises(NotConvergentParametersError):
+            run_sharded_batch(plan, [np.zeros((36, 3))],
+                              require_convergence=True)
+
+    def test_executor_partition_mismatch_rejected(self):
+        graph = grid_graph(4, 4)
+        coupling = synthetic_residual_matrix(epsilon=0.05)
+        plan = get_sharded_plan(partition_graph(graph, 2), coupling)
+        foreign = SequentialShardExecutor(partition_graph(graph, 2))
+        with pytest.raises(ValidationError):
+            run_sharded_batch(plan, [np.zeros((16, 3))],
+                              num_iterations=2, executor=foreign)
+
+    def test_sequential_executor_reuse_across_widths(self):
+        graph = grid_graph(5, 5)
+        coupling = synthetic_residual_matrix(epsilon=0.05)
+        partition = partition_graph(graph, 2)
+        plan = get_sharded_plan(partition, coupling)
+        with SequentialShardExecutor(partition) as executor:
+            wide = run_sharded_batch(plan, _query_batch(25, num_queries=3),
+                                     num_iterations=4, executor=executor)
+            narrow = run_sharded_batch(plan, _query_batch(25, num_queries=1),
+                                       num_iterations=4, executor=executor)
+        assert len(wide) == 3 and len(narrow) == 1

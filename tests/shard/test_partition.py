@@ -1,0 +1,186 @@
+"""Tests for the graph partitioner: blocks, halo maps, translation, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs import Graph, chain_graph, grid_graph, random_graph, star_graph
+from repro.shard import (
+    bfs_assignment,
+    hash_assignment,
+    partition_from_assignment,
+    partition_graph,
+)
+
+
+class TestAssignments:
+    def test_every_node_assigned_exactly_once(self):
+        graph = random_graph(60, 0.1, seed=4)
+        for method in ("bfs", "hash"):
+            partition = partition_graph(graph, 4, method=method)
+            covered = np.concatenate([block.nodes
+                                      for block in partition.blocks])
+            assert np.array_equal(np.sort(covered), np.arange(60))
+            for block in partition.blocks:
+                assert (partition.assignment[block.nodes]
+                        == block.shard_id).all()
+
+    def test_bfs_balance_within_one_capacity(self):
+        graph = grid_graph(12, 12)
+        partition = partition_graph(graph, 4, method="bfs")
+        sizes = [block.num_nodes for block in partition.blocks]
+        assert sum(sizes) == 144
+        assert max(sizes) <= -(-144 // 4)  # no shard above ceil(n/p)
+
+    def test_bfs_cuts_fewer_edges_than_hash(self):
+        graph = grid_graph(16, 16)  # strong locality -> BFS must win
+        bfs = partition_graph(graph, 4, method="bfs").stats()
+        hashed = partition_graph(graph, 4, method="hash").stats()
+        assert bfs.cut_edges < hashed.cut_edges
+
+    def test_hash_assignment_is_deterministic_and_spread(self):
+        first = hash_assignment(1000, 7)
+        second = hash_assignment(1000, 7)
+        assert np.array_equal(first, second)
+        counts = np.bincount(first, minlength=7)
+        assert counts.min() > 0
+
+    def test_bfs_handles_disconnected_components(self):
+        # two components; every node still lands in exactly one shard
+        graph = Graph.from_edges([(0, 1), (1, 2), (4, 5), (5, 6)],
+                                 num_nodes=8)
+        assignment = bfs_assignment(graph, 3)
+        assert assignment.shape == (8,)
+        assert assignment.min() >= 0 and assignment.max() < 3
+
+    def test_more_shards_than_nodes(self):
+        graph = chain_graph(3)
+        partition = partition_graph(graph, 5)
+        assert partition.num_shards == 5
+        sizes = [block.num_nodes for block in partition.blocks]
+        assert sum(sizes) == 3
+        # empty shards exist and are harmless
+        assert 0 in sizes
+
+
+class TestBlocks:
+    def test_rows_are_complete_and_columns_translated(self):
+        graph = random_graph(40, 0.15, seed=9)
+        partition = partition_graph(graph, 3)
+        dense = graph.adjacency.toarray()
+        for block in partition.blocks:
+            local = block.adjacency.toarray()
+            for local_row, node in enumerate(block.nodes):
+                # reconstruct the global row from the local one
+                reconstructed = np.zeros(40)
+                reconstructed[block.column_nodes] = local[local_row]
+                assert np.array_equal(reconstructed, dense[node])
+
+    def test_degrees_match_global_degrees(self):
+        graph = random_graph(30, 0.2, seed=2, weighted=True)
+        partition = partition_graph(graph, 4)
+        global_degrees = graph.degree_vector()
+        for block in partition.blocks:
+            assert np.allclose(block.degrees, global_degrees[block.nodes])
+
+    def test_halo_nodes_are_owned_elsewhere(self):
+        graph = random_graph(50, 0.1, seed=3)
+        partition = partition_graph(graph, 4)
+        for block in partition.blocks:
+            assert not np.intersect1d(block.nodes, block.halo_nodes).size
+            assert (partition.assignment[block.halo_nodes]
+                    == block.halo_owners).all()
+            assert (block.halo_owners != block.shard_id).all()
+
+    def test_every_edge_internal_once_or_cut_twice(self):
+        graph = random_graph(45, 0.12, seed=6)
+        partition = partition_graph(graph, 3)
+        internal = sum(block.num_internal_entries
+                       for block in partition.blocks)
+        cut = sum(block.num_cut_entries for block in partition.blocks)
+        # internal entries cover both directions of internal edges; cut
+        # entries appear once per endpoint shard.
+        assert internal + cut == graph.num_directed_edges
+        assert cut % 2 == 0
+        stats = partition.stats()
+        assert stats.cut_edges == cut // 2
+        assert internal // 2 + stats.cut_edges == graph.num_edges
+
+
+class TestTranslation:
+    def test_round_trip_owned_and_halo(self):
+        graph = random_graph(35, 0.15, seed=5)
+        partition = partition_graph(graph, 3)
+        for block in partition.blocks:
+            if not block.column_nodes.size:
+                continue
+            local = np.arange(block.column_nodes.size)
+            assert np.array_equal(block.to_local(block.to_global(local)),
+                                  local)
+            assert np.array_equal(block.to_global(block.to_local(
+                block.column_nodes)), block.column_nodes)
+
+    def test_foreign_node_rejected(self):
+        graph = star_graph(6)  # centre 0, leaves 1..6
+        partition = partition_from_assignment(
+            graph, np.array([0, 0, 0, 0, 1, 1, 1]), 2)
+        # leaf 1 is owned by shard 0 and not adjacent to any shard-1
+        # node except through the centre; shard 1's halo is {0} only.
+        block = partition.blocks[1]
+        assert np.array_equal(block.halo_nodes, [0])
+        with pytest.raises(ValidationError):
+            block.to_local(np.array([1]))
+
+    def test_local_out_of_range_rejected(self):
+        graph = chain_graph(6)
+        block = partition_graph(graph, 2).blocks[0]
+        with pytest.raises(ValidationError):
+            block.to_global(np.array([block.column_nodes.size]))
+
+    def test_shard_of(self):
+        graph = chain_graph(10)
+        partition = partition_graph(graph, 2)
+        for node in range(10):
+            assert partition.shard_of(node) == partition.assignment[node]
+        with pytest.raises(ValidationError):
+            partition.shard_of(10)
+
+
+class TestValidationAndStats:
+    def test_bad_num_shards(self):
+        with pytest.raises(ValidationError):
+            partition_graph(chain_graph(4), 0)
+
+    def test_bad_method(self):
+        with pytest.raises(ValidationError):
+            partition_graph(chain_graph(4), 2, method="metis")
+
+    def test_bad_assignment_shape(self):
+        with pytest.raises(ValidationError):
+            partition_from_assignment(chain_graph(4), np.zeros(3), 2)
+
+    def test_bad_assignment_values(self):
+        with pytest.raises(ValidationError):
+            partition_from_assignment(chain_graph(4),
+                                      np.array([0, 1, 2, 0]), 2)
+
+    def test_empty_graph(self):
+        partition = partition_graph(Graph.empty(0), 2)
+        assert partition.num_shards == 2
+        stats = partition.stats()
+        assert stats.cut_edges == 0 and stats.balance == 1.0
+
+    def test_describe_mentions_cut_and_balance(self):
+        graph = grid_graph(6, 6)
+        text = partition_graph(graph, 2).describe()
+        assert "cut edges" in text and "balance" in text
+        assert "shard 0" in text and "shard 1" in text
+
+    def test_single_shard_has_no_cut(self):
+        graph = random_graph(25, 0.2, seed=1)
+        stats = partition_graph(graph, 1).stats()
+        assert stats.cut_edges == 0
+        assert stats.halo_total == 0
+        assert stats.balance == 1.0

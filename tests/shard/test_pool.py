@@ -1,0 +1,124 @@
+"""Worker-pool executor tests: equivalence, reuse, lifecycle, failure modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import synthetic_residual_matrix
+from repro.engine import batch as engine_batch
+from repro.engine import plan as engine_plan
+from repro.exceptions import ValidationError
+from repro.graphs import grid_graph, random_graph
+from repro.shard import (
+    ShardWorkerPool,
+    get_sharded_plan,
+    partition_graph,
+    run_sharded_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = random_graph(120, 0.06, seed=8)
+    coupling = synthetic_residual_matrix(epsilon=0.04)
+    rng = np.random.default_rng(1)
+    explicits = []
+    for _ in range(3):
+        explicit = np.zeros((120, 3))
+        labeled = rng.choice(120, 10, replace=False)
+        values = rng.uniform(-0.1, 0.1, (10, 2))
+        explicit[labeled, 0] = values[:, 0]
+        explicit[labeled, 1] = values[:, 1]
+        explicit[labeled, 2] = -values.sum(axis=1)
+        explicits.append(explicit)
+    return graph, coupling, explicits
+
+
+class TestPoolEquivalence:
+    def test_matches_run_batch_and_reuses_across_batches(self, workload):
+        graph, coupling, explicits = workload
+        base = engine_batch.run_batch(
+            engine_plan.get_plan(graph, coupling), explicits,
+            max_iterations=100, tolerance=1e-10)
+        partition = partition_graph(graph, 4)
+        plan = get_sharded_plan(partition, coupling)
+        with ShardWorkerPool(partition) as pool:
+            results = run_sharded_batch(plan, explicits, max_iterations=100,
+                                        tolerance=1e-10, executor=pool)
+            for pooled, single in zip(results, base):
+                assert np.abs(pooled.beliefs - single.beliefs).max() < 1e-10
+                assert pooled.iterations == single.iterations
+                assert pooled.converged == single.converged
+            # second batch on the same pool: narrower width, fixed sweeps
+            narrow_base = engine_batch.run_batch(
+                engine_plan.get_plan(graph, coupling), explicits[:1],
+                num_iterations=6)
+            narrow = run_sharded_batch(plan, explicits[:1],
+                                       num_iterations=6, executor=pool)
+            assert np.abs(narrow[0].beliefs
+                          - narrow_base[0].beliefs).max() < 1e-10
+
+    def test_pool_with_empty_shards(self, workload):
+        _, coupling, _ = workload
+        graph = grid_graph(2, 2)  # 4 nodes, 8 shards -> empty blocks
+        explicit = np.zeros((4, 3))
+        explicit[0] = [0.1, -0.05, -0.05]
+        base = engine_batch.run_batch(
+            engine_plan.get_plan(graph, coupling), [explicit],
+            num_iterations=5)
+        partition = partition_graph(graph, 8)
+        plan = get_sharded_plan(partition, coupling)
+        with ShardWorkerPool(partition) as pool:
+            result = run_sharded_batch(plan, [explicit], num_iterations=5,
+                                       executor=pool)[0]
+        assert np.abs(result.beliefs - base[0].beliefs).max() < 1e-10
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent_and_rejects_further_use(self, workload):
+        graph, coupling, explicits = workload
+        partition = partition_graph(graph, 2)
+        plan = get_sharded_plan(partition, coupling)
+        pool = ShardWorkerPool(partition)
+        run_sharded_batch(plan, explicits[:1], num_iterations=2,
+                          executor=pool)
+        pool.close()
+        pool.close()
+        with pytest.raises(ValidationError):
+            pool.load(plan, np.zeros((graph.num_nodes, 3)))
+        with pytest.raises(ValidationError):
+            pool.step()
+
+    def test_capacity_exceeded_rejected(self, workload):
+        graph, coupling, explicits = workload
+        partition = partition_graph(graph, 2)
+        plan = get_sharded_plan(partition, coupling)
+        with ShardWorkerPool(partition, max_columns=3) as pool:
+            with pytest.raises(ValidationError):
+                run_sharded_batch(plan, explicits, num_iterations=2,
+                                  executor=pool)
+            # a batch that fits still works on the same pool
+            result = run_sharded_batch(plan, explicits[:1],
+                                       num_iterations=2, executor=pool)
+            assert len(result) == 1
+
+    def test_bad_max_columns(self, workload):
+        graph, _, _ = workload
+        with pytest.raises(ValidationError):
+            ShardWorkerPool(partition_graph(graph, 2), max_columns=0)
+
+    def test_foreign_plan_rejected(self, workload):
+        graph, coupling, _ = workload
+        partition = partition_graph(graph, 2)
+        other = partition_graph(graph, 2)
+        plan = get_sharded_plan(other, coupling)
+        with ShardWorkerPool(partition) as pool:
+            with pytest.raises(ValidationError):
+                pool.load(plan, np.zeros((graph.num_nodes, 3)))
+
+    def test_step_before_load_rejected(self, workload):
+        graph, _, _ = workload
+        with ShardWorkerPool(partition_graph(graph, 2)) as pool:
+            with pytest.raises(ValidationError):
+                pool.step()

@@ -114,12 +114,113 @@ class TestAnalyzeCommand:
         assert "Mooij-Kappen" in capsys.readouterr().out
 
 
+class TestLabelShardedCommand:
+    def test_sharded_label_matches_single_process(self, cli_files, capsys):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        single_exit = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--epsilon", "0.3"])
+        single_out = capsys.readouterr().out
+        sharded_exit = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--epsilon", "0.3", "--shards", "2",
+            "--shard-executor", "sequential"])
+        sharded_out = capsys.readouterr().out
+        assert single_exit == 0 and sharded_exit == 0
+        # identical label assignments and identical convergence summary
+        assert sharded_out.splitlines()[1:] == single_out.splitlines()[1:]
+
+    def test_sharded_label_pool_executor_runs(self, cli_files, capsys):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--epsilon", "0.3", "--shards", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "left" in captured.out and "right" in captured.out
+
+    def test_sharded_label_rejects_non_linbp_methods(self, cli_files,
+                                                     capsys):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--method", "sbp", "--shards", "2"])
+        assert exit_code == 2
+        assert "LinBP-family" in capsys.readouterr().err
+
+    def test_shards_flag_rejects_nonsense(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "label", "--graph", "g", "--beliefs", "b",
+                "--coupling", "h", "--shards", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+
+class TestPartitionCommand:
+    def test_reports_cut_and_balance(self, cli_files, capsys):
+        graph_path, _, _, _ = cli_files
+        exit_code = main(["partition", "--graph", str(graph_path),
+                          "--shards", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cut edges" in captured.out
+        assert "balance" in captured.out
+        assert "shard 0" in captured.out
+
+    def test_compare_reports_other_method(self, cli_files, capsys):
+        graph_path, _, _, _ = cli_files
+        exit_code = main(["partition", "--graph", str(graph_path),
+                          "--shards", "3", "--method", "bfs", "--compare"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "vs hash" in captured.out
+
+    def test_missing_graph_reports_error(self, tmp_path, capsys):
+        exit_code = main(["partition", "--graph", str(tmp_path / "no.tsv"),
+                          "--shards", "2"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestServeCommand:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.port is None
         assert args.window_ms == 2.0
         assert args.max_batch == 16
+        assert args.result_ttl == 300.0
+        assert args.result_cache_size == 256
+
+    @pytest.mark.parametrize("flags", [
+        ["--window-ms", "-1"],
+        ["--window-ms", "nan"],
+        ["--window-ms", "soon"],
+        ["--max-batch", "0"],
+        ["--max-batch", "-3"],
+        ["--max-batch", "many"],
+        ["--result-ttl", "-5"],
+        ["--result-cache-size", "-1"],
+        ["--result-cache-size", "lots"],
+    ])
+    def test_serve_rejects_nonsense_knobs(self, capsys, flags):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", *flags])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected a" in err  # the argparse type error message
+
+    def test_serve_accepts_zero_cache_size_and_window(self):
+        # 0 is meaningful for these knobs (disable caching / coalescing)
+        args = build_parser().parse_args(
+            ["serve", "--result-cache-size", "0", "--window-ms", "0",
+             "--result-ttl", "0"])
+        assert args.result_cache_size == 0
+        assert args.window_ms == 0.0
+        assert args.result_ttl == 0.0
 
     def test_serve_stdin_mode_processes_requests(self, capsys, monkeypatch):
         import io
