@@ -20,9 +20,11 @@ the ratios goes unnoticed.  This script closes that gap:
   smoke gate is "the ratio benchmarks pass at small sizes", nothing
   machine-dependent;
 * ``--suite`` selects the benchmark suite: ``engine`` (the default —
-  SBP/batch/service kernels against ``BENCH_sbp.json``) or ``shard``
+  SBP/batch/service kernels against ``BENCH_sbp.json``), ``shard``
   (the sharded-propagation benchmark against ``BENCH_shard.json``,
-  whose timings additionally depend on the host's core count).
+  whose timings additionally depend on the host's core count), or
+  ``sql`` (the SQL execution backend against ``BENCH_sql.json`` —
+  SQLite-executed LinBP vs the pure-Python relational engine).
 
 A missing, malformed or incomplete baseline fails *before* the
 benchmark run with a non-zero exit and an actionable message.
@@ -54,7 +56,9 @@ from typing import Dict, List
 #: into.  ``engine`` is the historical default (BENCH_sbp.json); the
 #: ``shard`` suite gates the sharded-propagation kernels separately
 #: (BENCH_shard.json) because its timings depend on core count, not
-#: just the host's single-thread speed.
+#: just the host's single-thread speed; the ``sql`` suite gates the SQL
+#: execution backend (BENCH_sql.json), whose timings depend on the
+#: linked SQLite library as well as the host.
 SUITES = {
     "engine": {
         "targets": [
@@ -67,6 +71,10 @@ SUITES = {
     "shard": {
         "targets": ["benchmarks/test_bench_shard.py"],
         "baseline": "BENCH_shard.json",
+    },
+    "sql": {
+        "targets": ["benchmarks/test_bench_sql_backend.py"],
+        "baseline": "BENCH_sql.json",
     },
 }
 DEFAULT_SUITE = "engine"

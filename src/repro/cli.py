@@ -26,6 +26,11 @@ The CLI mirrors how the paper's artifacts would be used from a shell:
     cut size, balance and halo volume — the quantities that decide
     whether sharded propagation (``label --shards``) pays off.
 
+``python -m repro sql-info``
+    Report which SQL execution backends (``label --backend``) are usable:
+    the pure-Python reference, the stdlib SQLite engine, and the optional
+    DuckDB engine.
+
 Every command works on plain text files and prints plain text, so results can
 be piped into other tools.
 """
@@ -131,12 +136,30 @@ def _label_sharded(args: argparse.Namespace, graph, coupling, explicit):
                                    max_iterations=args.max_iterations)[0]
 
 
+def _label_backend(args: argparse.Namespace, graph, coupling, explicit):
+    """Run one labeling query on a relational execution backend."""
+    from repro.relational.engine import run_propagation
+
+    if args.method == "bp":
+        raise ReproError(
+            "--backend runs the paper's relational programs; method 'bp' has "
+            "no relational form (use linbp, linbp* or sbp)")
+    if args.shards > 1:
+        raise ReproError("--backend and --shards are mutually exclusive; "
+                         "the SQL backends run single-process")
+    return run_propagation(graph, coupling, explicit, method=args.method,
+                           backend=args.backend, database=args.database,
+                           max_iterations=args.max_iterations)
+
+
 def _command_label(args: argparse.Namespace) -> int:
     graph = graph_io.read_edge_list(args.graph, num_nodes=args.num_nodes)
     coupling = _load_coupling(args.coupling, args.epsilon)
     explicit = graph_io.read_belief_table(args.beliefs, num_nodes=graph.num_nodes,
                                           num_classes=coupling.num_classes)
-    if args.shards > 1:
+    if args.backend is not None:
+        result = _label_backend(args, graph, coupling, explicit)
+    elif args.shards > 1:
         result = _label_sharded(args, graph, coupling, explicit)
     else:
         method = METHODS[args.method]
@@ -229,6 +252,17 @@ def _command_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sql_info(args: argparse.Namespace) -> int:
+    from repro.relational.backends import backend_info
+
+    print(f"{'backend':<10} {'status':<13} {'kind':<10} engine")
+    for entry in backend_info():
+        status = "available" if entry["available"] else "unavailable"
+        print(f"{entry['name']:<10} {status:<13} {entry['kind']:<10} "
+              f"{entry['engine']}")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import LineProtocolServer, ServiceSession, serve_stream
 
@@ -294,6 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default="pool",
                        help="run shards on a multiprocessing pool or "
                             "in-process (default: pool)")
+    label.add_argument("--backend", choices=["python", "sqlite", "duckdb"],
+                       default=None,
+                       help="run the relational program on an execution "
+                            "backend instead of the in-memory engine "
+                            "(linbp/linbp*/sbp only; default: in-memory)")
+    label.add_argument("--database", default=":memory:",
+                       help="database for --backend sqlite/duckdb; a file "
+                            "path persists the graph and beliefs "
+                            "(default: ':memory:')")
     label.set_defaults(handler=_command_label)
 
     analyze = subparsers.add_parser(
@@ -329,6 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also partition with the other method and "
                                 "report the cut-size difference")
     partition.set_defaults(handler=_command_partition)
+
+    sql_info = subparsers.add_parser(
+        "sql-info", help="report which SQL execution backends are usable")
+    sql_info.set_defaults(handler=_command_sql_info)
 
     serve = subparsers.add_parser(
         "serve", help="run the propagation service (JSON line protocol)")

@@ -54,5 +54,30 @@ class SchemaError(RelationalError, ValueError):
     """A relational operation referenced a column that does not exist."""
 
 
+class BackendError(RelationalError):
+    """Base class for problems with the pluggable SQL execution backends."""
+
+
+class UnknownBackendError(BackendError, ValueError):
+    """A backend name does not match any registered execution backend.
+
+    The message lists the registered names so the typo is obvious; callers
+    (the CLI, the service layer) can catch it without string matching.
+    """
+
+
+class BackendUnavailableError(BackendError, ImportError):
+    """A registered backend exists but its driver is not installed.
+
+    Derives from :class:`ImportError` because the root cause is always a
+    missing module (e.g. ``duckdb``); the message says which package to
+    install instead of surfacing a bare ``ModuleNotFoundError``.
+    """
+
+
+class BackendStateError(BackendError, RuntimeError):
+    """A backend was used out of order (no graph loaded, connection closed)."""
+
+
 class DatasetError(ReproError, ValueError):
     """A dataset generator was asked for an impossible configuration."""

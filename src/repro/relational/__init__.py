@@ -4,7 +4,9 @@ from repro.relational.engine import (
     aggregate,
     anti_join,
     equi_join,
+    open_backend,
     project,
+    run_propagation,
     select,
     union_all,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "project",
     "select",
     "union_all",
+    "open_backend",
+    "run_propagation",
     "RelationalLinBP",
     "linbp_sql",
     "add_edges_sql",

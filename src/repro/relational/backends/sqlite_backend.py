@@ -1,0 +1,50 @@
+"""SQLite execution backend — the always-available stdlib baseline.
+
+SQLite ships with CPython, so this backend needs nothing beyond the
+standard library.  The only dialect requirement is ``UPDATE ... FROM``
+(SQLite ≥ 3.33, released 2020); :func:`SQLiteBackend.is_available` checks
+the linked library version so older interpreters degrade to a capability
+report instead of a syntax error mid-sweep.
+
+With ``database=":memory:"`` runs are ephemeral; with a filesystem path the
+graph, coupling and beliefs persist — reopening the same path restores the
+loaded state, and disk-backed databases are how graphs larger than RAM get
+labeled (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.exceptions import BackendUnavailableError
+from repro.relational.backends.base import SQLBackend
+
+__all__ = ["SQLiteBackend"]
+
+#: UPDATE ... FROM landed in SQLite 3.33.0.
+_MIN_VERSION = (3, 33, 0)
+
+
+class SQLiteBackend(SQLBackend):
+    """LinBP/SBP over the stdlib :mod:`sqlite3` module."""
+
+    name = "sqlite"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return sqlite3.sqlite_version_info >= _MIN_VERSION
+
+    @classmethod
+    def engine_version(cls) -> str:
+        return f"SQLite {sqlite3.sqlite_version}"
+
+    def _open(self) -> sqlite3.Connection:
+        if not self.is_available():
+            raise BackendUnavailableError(
+                f"the sqlite backend needs SQLite >= "
+                f"{'.'.join(map(str, _MIN_VERSION))} for UPDATE ... FROM; "
+                f"this Python links SQLite {sqlite3.sqlite_version}")
+        # isolation_level=None disables sqlite3's implicit transaction
+        # management so the backend's explicit BEGIN/COMMIT/ROLLBACK in
+        # SQLBackend._transaction is the only transaction boundary.
+        return sqlite3.connect(self.database, isolation_level=None)

@@ -30,6 +30,8 @@ __all__ = [
     "anti_join",
     "aggregate",
     "union_all",
+    "open_backend",
+    "run_propagation",
 ]
 
 RowDict = Dict[str, Any]
@@ -224,3 +226,53 @@ def union_all(tables: Iterable[Table], name: str = "union_all") -> Table:
                 f"expected {len(first.columns)}")
         result.insert_rows(table.rows)
     return result
+
+
+# ---------------------------------------------------------------------- #
+# execution-backend dispatch
+# ---------------------------------------------------------------------- #
+def open_backend(backend: str = "python", database: str = ":memory:"):
+    """Open an execution backend for the relational LinBP/SBP programs.
+
+    ``backend`` selects where the relational program actually runs:
+    ``"python"`` (these in-memory operators), ``"sqlite"`` (the stdlib SQL
+    engine, optionally disk-backed via ``database``) or ``"duckdb"`` (the
+    optional columnar engine).  Unknown names raise
+    :class:`~repro.exceptions.UnknownBackendError`; a known backend whose
+    driver is missing raises
+    :class:`~repro.exceptions.BackendUnavailableError` — never a bare
+    ``KeyError`` or ``ModuleNotFoundError``.
+    """
+    from repro.relational.backends import get_backend
+
+    return get_backend(backend, database=database)
+
+
+def run_propagation(graph, coupling, explicit_residuals, method: str = "linbp",
+                    backend: str = "python", database: str = ":memory:",
+                    max_iterations: int = 100, tolerance: float = 1e-10,
+                    num_iterations=None):
+    """Run one relational propagation query on the chosen execution backend.
+
+    The one-stop entry point behind ``repro label --backend``: loads the
+    graph into the backend, runs ``method`` (``"linbp"``, ``"linbp*"`` or
+    ``"sbp"``) and returns the usual
+    :class:`~repro.core.results.PropagationResult`.  All failure modes
+    surface as :mod:`repro.exceptions` types: unknown backend or method,
+    unavailable driver, and out-of-order use.
+    """
+    from repro.exceptions import ValidationError
+
+    method_key = method.lower()
+    if method_key not in ("linbp", "linbp*", "sbp"):
+        raise ValidationError(
+            f"unknown relational method {method!r}; "
+            "expected one of: linbp, linbp*, sbp")
+    with open_backend(backend, database=database) as runner:
+        runner.load_graph(graph, coupling, explicit_residuals)
+        if method_key == "sbp":
+            return runner.run_sbp()
+        return runner.run_linbp(max_iterations=max_iterations,
+                                tolerance=tolerance,
+                                num_iterations=num_iterations,
+                                echo_cancellation=(method_key == "linbp"))

@@ -160,6 +160,92 @@ class TestLabelShardedCommand:
         assert "positive integer" in capsys.readouterr().err
 
 
+class TestLabelBackendCommand:
+    @pytest.mark.parametrize("backend", ["python", "sqlite"])
+    @pytest.mark.parametrize("method", ["linbp", "linbp*", "sbp"])
+    def test_backend_label_matches_in_memory(self, cli_files, capsys,
+                                             method, backend):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        memory_exit = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--method", method, "--epsilon", "0.3"])
+        memory_out = capsys.readouterr().out
+        backend_exit = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--method", method, "--epsilon", "0.3",
+            "--backend", backend])
+        backend_out = capsys.readouterr().out
+        assert memory_exit == 0 and backend_exit == 0
+        # identical label assignments (the summary line names the backend)
+        assert backend_out.splitlines()[1:] == memory_out.splitlines()[1:]
+
+    def test_backend_persists_to_database_file(self, cli_files, capsys):
+        graph_path, beliefs_path, coupling_path, tmp_path = cli_files
+        database = tmp_path / "graph.db"
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--epsilon", "0.3", "--backend", "sqlite",
+            "--database", str(database)])
+        assert exit_code == 0
+        assert database.exists()
+        assert "left" in capsys.readouterr().out
+
+    def test_backend_rejects_bp_method(self, cli_files, capsys):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--method", "bp", "--backend", "sqlite"])
+        assert exit_code == 2
+        assert "no relational form" in capsys.readouterr().err
+
+    def test_backend_rejects_shards(self, cli_files, capsys):
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--epsilon", "0.3", "--backend", "sqlite", "--shards", "2"])
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_backend_flag_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([
+                "label", "--graph", "g", "--beliefs", "b",
+                "--coupling", "h", "--backend", "postgres"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_missing_duckdb_reports_clean_error(self, cli_files, capsys):
+        import importlib.util
+        if importlib.util.find_spec("duckdb") is not None:
+            pytest.skip("duckdb installed; the gating path cannot be hit")
+        graph_path, beliefs_path, coupling_path, _ = cli_files
+        exit_code = main([
+            "label", "--graph", str(graph_path), "--beliefs",
+            str(beliefs_path), "--coupling", str(coupling_path),
+            "--epsilon", "0.3", "--backend", "duckdb"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")  # not a traceback
+        assert "duckdb" in err
+
+
+class TestSqlInfoCommand:
+    def test_reports_every_backend(self, capsys):
+        exit_code = main(["sql-info"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("python", "sqlite", "duckdb"):
+            assert name in out
+        assert "SQLite" in out
+        # duckdb is either installed or reported unavailable - never an error
+        assert "available" in out
+
+
 class TestPartitionCommand:
     def test_reports_cut_and_balance(self, cli_files, capsys):
         graph_path, _, _, _ = cli_files
