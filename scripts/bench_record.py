@@ -22,9 +22,13 @@ the ratios goes unnoticed.  This script closes that gap:
 * ``--suite`` selects the benchmark suite: ``engine`` (the default —
   SBP/batch/service kernels against ``BENCH_sbp.json``), ``shard``
   (the sharded-propagation benchmark against ``BENCH_shard.json``,
-  whose timings additionally depend on the host's core count), or
+  whose timings additionally depend on the host's core count),
   ``sql`` (the SQL execution backend against ``BENCH_sql.json`` —
-  SQLite-executed LinBP vs the pure-Python relational engine).
+  SQLite-executed LinBP vs the pure-Python relational engine), or
+  ``precision`` (the mixed-precision kernel layer against
+  ``BENCH_precision.json`` — float32 vs float64 SpMM throughput).
+  ``--suite all`` runs every suite in sequence; an unknown suite name
+  exits non-zero listing the valid choices.
 
 A missing, malformed or incomplete baseline fails *before* the
 benchmark run with a non-zero exit and an actionable message.
@@ -76,7 +80,13 @@ SUITES = {
         "targets": ["benchmarks/test_bench_sql_backend.py"],
         "baseline": "BENCH_sql.json",
     },
+    "precision": {
+        "targets": ["benchmarks/test_bench_precision.py"],
+        "baseline": "BENCH_precision.json",
+    },
 }
+#: Pseudo-suite: run every suite above in sequence.
+ALL_SUITES = "all"
 DEFAULT_SUITE = "engine"
 DEFAULT_TARGETS = SUITES[DEFAULT_SUITE]["targets"]
 DEFAULT_BASELINE = SUITES[DEFAULT_SUITE]["baseline"]
@@ -217,47 +227,25 @@ def compare(baseline: dict, kernels: Dict[str, float],
     return 0
 
 
-def main(argv: List[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--record", action="store_true",
-                        help="write a fresh baseline instead of comparing")
-    parser.add_argument("--compare", action="store_true",
-                        help="compare against the baseline (the default "
-                             "mode; the flag exists so CI invocations are "
-                             "explicit)")
-    parser.add_argument("--smoke", action="store_true",
-                        help="shrink every workload (REPRO_BENCH_SMOKE=1, "
-                             "--bench-max-index 1) and gate only on the "
-                             "benchmarks' ratio assertions - no absolute "
-                             "baselines (for shared CI runners)")
-    parser.add_argument("--suite", choices=sorted(SUITES),
-                        default=DEFAULT_SUITE,
-                        help="benchmark suite: default targets and baseline "
-                             "file ('engine' -> BENCH_sbp.json, 'shard' -> "
-                             "BENCH_shard.json)")
-    parser.add_argument("--baseline", default=None,
-                        help="baseline file path (default: the suite's "
-                             f"baseline, e.g. {DEFAULT_BASELINE})")
-    parser.add_argument("--threshold", type=float, default=None,
-                        help="allowed slowdown fraction (default: 0.20 = 20%% "
-                             "when recording; the baseline's recorded value "
-                             "when comparing, unless overridden here)")
-    parser.add_argument("--min-delta", type=float, default=None,
-                        help="absolute slowdown in seconds a kernel must "
-                             "also exceed to fail the gate (default: 0.002 "
-                             "when recording; the baseline's recorded value "
-                             "when comparing, unless overridden here)")
-    parser.add_argument("targets", nargs="*", default=None,
-                        help="pytest benchmark targets "
-                             f"(default: {' '.join(DEFAULT_TARGETS)})")
-    arguments = parser.parse_args(argv)
-    if arguments.record and arguments.compare:
-        parser.error("--record and --compare are mutually exclusive")
-    if arguments.record and arguments.smoke:
-        parser.error("--smoke baselines would be meaningless - record on a "
-                     "quiet host at full size instead")
-    root = repo_root()
-    suite = SUITES[arguments.suite]
+def resolve_suites(name: str) -> List[str]:
+    """Map a ``--suite`` value to suite names, exiting non-zero when unknown.
+
+    ``all`` expands to every registered suite; anything else must name a
+    suite exactly.  The error message lists the valid choices so a typo'd
+    CI configuration fails with the fix in hand.
+    """
+    if name == ALL_SUITES:
+        return sorted(SUITES)
+    if name not in SUITES:
+        valid = ", ".join(sorted(SUITES))
+        raise SystemExit(f"unknown benchmark suite {name!r}; valid suites: "
+                         f"{valid} (or '{ALL_SUITES}' to run every suite)")
+    return [name]
+
+
+def run_suite(arguments: argparse.Namespace, root: Path, name: str) -> int:
+    """Record or compare one suite; return a process-style exit code."""
+    suite = SUITES[name]
     baseline_path = Path(arguments.baseline if arguments.baseline is not None
                          else suite["baseline"])
     if not baseline_path.is_absolute():
@@ -294,6 +282,60 @@ def main(argv: List[str] | None = None) -> int:
     return compare(baseline, kernels,
                    threshold_override=arguments.threshold,
                    min_delta_override=arguments.min_delta)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="write a fresh baseline instead of comparing")
+    parser.add_argument("--compare", action="store_true",
+                        help="compare against the baseline (the default "
+                             "mode; the flag exists so CI invocations are "
+                             "explicit)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink every workload (REPRO_BENCH_SMOKE=1, "
+                             "--bench-max-index 1) and gate only on the "
+                             "benchmarks' ratio assertions - no absolute "
+                             "baselines (for shared CI runners)")
+    parser.add_argument("--suite", default=DEFAULT_SUITE,
+                        help="benchmark suite: default targets and baseline "
+                             "file ('engine' -> BENCH_sbp.json, 'shard' -> "
+                             "BENCH_shard.json, 'sql' -> BENCH_sql.json, "
+                             "'precision' -> BENCH_precision.json), or "
+                             "'all' to run every suite in sequence "
+                             f"(valid: {', '.join(sorted(SUITES))}, all)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file path (default: the suite's "
+                             f"baseline, e.g. {DEFAULT_BASELINE})")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="allowed slowdown fraction (default: 0.20 = 20%% "
+                             "when recording; the baseline's recorded value "
+                             "when comparing, unless overridden here)")
+    parser.add_argument("--min-delta", type=float, default=None,
+                        help="absolute slowdown in seconds a kernel must "
+                             "also exceed to fail the gate (default: 0.002 "
+                             "when recording; the baseline's recorded value "
+                             "when comparing, unless overridden here)")
+    parser.add_argument("targets", nargs="*", default=None,
+                        help="pytest benchmark targets "
+                             f"(default: {' '.join(DEFAULT_TARGETS)})")
+    arguments = parser.parse_args(argv)
+    if arguments.record and arguments.compare:
+        parser.error("--record and --compare are mutually exclusive")
+    if arguments.record and arguments.smoke:
+        parser.error("--smoke baselines would be meaningless - record on a "
+                     "quiet host at full size instead")
+    suite_names = resolve_suites(arguments.suite)
+    if len(suite_names) > 1 and (arguments.baseline or arguments.targets):
+        parser.error("--suite all uses each suite's own baseline and "
+                     "targets; drop --baseline and positional targets")
+    root = repo_root()
+    exit_code = 0
+    for name in suite_names:
+        if len(suite_names) > 1:
+            print(f"=== suite: {name} ===")
+        exit_code = max(exit_code, run_suite(arguments, root, name))
+    return exit_code
 
 
 if __name__ == "__main__":

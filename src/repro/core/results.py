@@ -50,7 +50,11 @@ class PropagationResult:
     extra: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
-        self.beliefs = np.asarray(self.beliefs, dtype=float)
+        # Preserve the engine's element type (float32 results stay
+        # float32); only non-float input (lists, ints) is promoted.
+        self.beliefs = np.asarray(self.beliefs)
+        if not np.issubdtype(self.beliefs.dtype, np.floating):
+            self.beliefs = np.asarray(self.beliefs, dtype=float)
 
     # ------------------------------------------------------------------ #
     # convenience views

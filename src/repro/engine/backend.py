@@ -1,0 +1,340 @@
+"""The array-backend layer: who allocates buffers, in which dtype, where.
+
+Every kernel in :mod:`repro.engine.kernels` is memory-bandwidth-bound —
+the LinBP sweep is one SpMM plus two thin GEMMs per iteration, all
+streaming — so the two levers that matter are *element width* and
+*device*.  This module makes both pluggable without touching the kernel
+or plan code:
+
+* :class:`ArrayBackend` — the small protocol the engine needs from an
+  array library: allocate (``empty``/``zeros``), ingest (``asarray``,
+  ``csr``), and export (``to_numpy``).  :class:`NumpyBackend` is the
+  always-available default; :class:`CupyBackend` is capability-gated the
+  same way the DuckDB SQL backend is — registered, reported, selectable,
+  and failing with a clear :class:`~repro.exceptions
+  .BackendUnavailableError` (not an opaque ``ImportError``) when the
+  package is absent.
+* **dtype support.**  :data:`SUPPORTED_DTYPES` names the element types
+  the kernel stack accepts (float32 and float64); :func:`canonical_dtype`
+  normalises user input (strings, ``np.float32``, dtype objects) and
+  rejects everything else with the valid choices listed.  Plans key
+  their caches on the canonical dtype name, so a float32 and a float64
+  plan for the same graph coexist.
+* **A compiled CSR sweep fallback.**  The zero-allocation SpMM path in
+  :mod:`repro.engine.kernels` rides a *private* scipy symbol
+  (``_sparsetools.csr_matvecs``); when a scipy release moves it, the
+  engine would silently fall back to the allocating ``A @ X``.  This
+  module probes :mod:`numba` at import (:data:`HAVE_NUMBA`, mirroring
+  ``HAVE_INPLACE_SPMM``) and, when present, compiles an equivalent
+  in-place row-major CSR sweep on first use — so the fast path survives
+  scipy layout changes on hosts with numba installed.
+
+``repro backends`` prints :func:`array_backend_info` so operators can
+see at a glance which backends, dtypes and compiled paths a host offers.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Dict, List, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import BackendUnavailableError, UnknownBackendError
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "DEFAULT_DTYPE",
+    "canonical_dtype",
+    "dtype_name",
+    "ArrayBackend",
+    "NumpyBackend",
+    "CupyBackend",
+    "ARRAY_BACKENDS",
+    "get_array_backend",
+    "array_backend_info",
+    "HAVE_NUMBA",
+    "numba_spmm",
+]
+
+#: Element types the kernel stack accepts, keyed by canonical name.
+SUPPORTED_DTYPES: Dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+#: The historical (and exact) default.
+DEFAULT_DTYPE: np.dtype = SUPPORTED_DTYPES["float64"]
+
+DTypeLike = Union[str, np.dtype, type]
+
+
+def canonical_dtype(dtype: DTypeLike) -> np.dtype:
+    """Normalise a dtype spec to one of :data:`SUPPORTED_DTYPES`.
+
+    Accepts canonical names (``"float32"``), numpy scalar types and
+    dtype objects; anything else raises with the valid choices listed.
+    """
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError:
+        resolved = None
+    if resolved is not None:
+        for candidate in SUPPORTED_DTYPES.values():
+            if resolved == candidate:
+                return candidate
+    known = ", ".join(sorted(SUPPORTED_DTYPES))
+    raise UnknownBackendError(
+        f"unsupported dtype {dtype!r}; the kernel layer supports: {known}")
+
+
+def dtype_name(dtype: DTypeLike) -> str:
+    """The canonical name (cache-key component) of a supported dtype."""
+    return canonical_dtype(dtype).name
+
+
+# ---------------------------------------------------------------------- #
+# array backends
+# ---------------------------------------------------------------------- #
+class ArrayBackend:
+    """What the engine needs from an array library, and nothing more.
+
+    Buffers are allocated through the backend (``empty``/``zeros``),
+    inputs converted on the way in (``asarray`` for dense,
+    ``csr`` for the adjacency), results converted on the way out
+    (``to_numpy``).  The kernels themselves stay backend-agnostic: they
+    take whatever arrays the plan and workspace hand them and use either
+    the compiled CPU paths (numpy operands) or generic operators
+    (everything else — cupy arrays dispatch ufuncs natively).
+    """
+
+    name: str = "abstract"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend can actually run on the current host."""
+        raise NotImplementedError
+
+    @classmethod
+    def engine_version(cls) -> str:
+        """Human-readable underlying library version (for reports)."""
+        raise NotImplementedError
+
+    def asarray(self, array, dtype: np.dtype):
+        """A C-contiguous backend array of the given dtype."""
+        raise NotImplementedError
+
+    def empty(self, shape, dtype: np.dtype):
+        """Uninitialised backend array."""
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype: np.dtype):
+        """Zero-initialised backend array."""
+        raise NotImplementedError
+
+    def csr(self, matrix: sp.csr_matrix, dtype: np.dtype):
+        """The adjacency as this backend's CSR type in the given dtype."""
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Materialise a backend array as numpy (identity on numpy)."""
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """The default host-memory backend; exact and always available."""
+
+    name = "numpy"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return True
+
+    @classmethod
+    def engine_version(cls) -> str:
+        return f"numpy {np.__version__}"
+
+    def asarray(self, array, dtype: np.dtype) -> np.ndarray:
+        return np.ascontiguousarray(array, dtype=dtype)
+
+    def empty(self, shape, dtype: np.dtype) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype: np.dtype) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def csr(self, matrix: sp.csr_matrix, dtype: np.dtype) -> sp.csr_matrix:
+        if matrix.dtype == dtype:
+            return matrix
+        return matrix.astype(dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return array
+
+
+class CupyBackend(ArrayBackend):
+    """GPU arrays via CuPy — capability-gated like the DuckDB SQL backend.
+
+    Selected only when the package is installed; otherwise every
+    operation raises :class:`BackendUnavailableError` with an
+    installation hint.  The sparse product runs through
+    ``cupyx.scipy.sparse`` (the kernels' generic ``A @ X`` path — the
+    scipy in-place symbol is CPU-only), the GEMMs through cupy's own
+    ufunc dispatch, so the same plan/kernel code drives the GPU.
+    """
+
+    name = "cupy"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("cupy") is not None
+
+    @classmethod
+    def engine_version(cls) -> str:
+        if not cls.is_available():
+            return "not installed"
+        import cupy
+        return f"cupy {cupy.__version__}"
+
+    def _cupy(self):
+        try:
+            import cupy
+        except ImportError as error:  # pragma: no cover - gated in tests
+            raise BackendUnavailableError(
+                "the 'cupy' array backend requires the cupy package "
+                "(pip install cupy-cuda12x for CUDA 12)") from error
+        return cupy
+
+    def asarray(self, array, dtype: np.dtype):  # pragma: no cover - needs GPU
+        return self._cupy().ascontiguousarray(
+            self._cupy().asarray(array, dtype=dtype))
+
+    def empty(self, shape, dtype: np.dtype):  # pragma: no cover - needs GPU
+        return self._cupy().empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype: np.dtype):  # pragma: no cover - needs GPU
+        return self._cupy().zeros(shape, dtype=dtype)
+
+    def csr(self, matrix: sp.csr_matrix, dtype):  # pragma: no cover - GPU
+        self._cupy()
+        from cupyx.scipy import sparse as cusparse
+        return cusparse.csr_matrix(matrix.astype(dtype))
+
+    def to_numpy(self, array) -> np.ndarray:  # pragma: no cover - needs GPU
+        return array.get()
+
+
+#: Registry of array backends, in preference order.
+ARRAY_BACKENDS: Dict[str, type] = {
+    "numpy": NumpyBackend,
+    "cupy": CupyBackend,
+}
+
+_instances: Dict[str, ArrayBackend] = {}
+
+
+def get_array_backend(name: str) -> ArrayBackend:
+    """The (shared) backend instance registered under ``name``.
+
+    Unknown names raise :class:`UnknownBackendError` listing the
+    registry; known-but-uninstalled backends raise
+    :class:`BackendUnavailableError` so callers can degrade cleanly.
+    """
+    try:
+        backend_class = ARRAY_BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(ARRAY_BACKENDS))
+        raise UnknownBackendError(
+            f"unknown array backend {name!r}; registered backends: "
+            f"{known}") from None
+    if not backend_class.is_available():
+        raise BackendUnavailableError(
+            f"array backend {name!r} is registered but its package is not "
+            f"installed on this host")
+    instance = _instances.get(name)
+    if instance is None:
+        instance = _instances.setdefault(name, backend_class())
+    return instance
+
+
+def array_backend_info() -> List[Dict[str, object]]:
+    """Capability report for ``repro backends``: one row per backend."""
+    from repro.engine import kernels
+    report: List[Dict[str, object]] = []
+    for name, backend_class in ARRAY_BACKENDS.items():
+        report.append({
+            "name": name,
+            "available": bool(backend_class.is_available()),
+            "engine": backend_class.engine_version(),
+            "dtypes": sorted(SUPPORTED_DTYPES),
+        })
+    report.append({
+        "name": "spmm-inplace",
+        "available": bool(kernels.HAVE_INPLACE_SPMM),
+        "engine": "scipy._sparsetools.csr_matvecs",
+        "dtypes": sorted(SUPPORTED_DTYPES),
+    })
+    report.append({
+        "name": "spmm-numba",
+        "available": bool(HAVE_NUMBA),
+        "engine": _numba_version(),
+        "dtypes": sorted(SUPPORTED_DTYPES),
+    })
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# the compiled CSR sweep fallback (probed at import, like HAVE_INPLACE_SPMM)
+# ---------------------------------------------------------------------- #
+#: True when numba is importable — the compiled CSR sweep can be built.
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+_numba_kernel = None
+
+
+def _numba_version() -> str:
+    if not HAVE_NUMBA:
+        return "not installed"
+    import numba
+    return f"numba {numba.__version__}"
+
+
+def _build_numba_kernel():
+    """Compile the in-place CSR sweep (once; cached across calls)."""
+    import numba
+
+    @numba.njit(cache=True, fastmath=False)
+    def csr_spmm(indptr, indices, data, dense, out):  # pragma: no cover
+        rows = indptr.shape[0] - 1
+        width = dense.shape[1]
+        for row in range(rows):
+            for pointer in range(indptr[row], indptr[row + 1]):
+                weight = data[pointer]
+                column = indices[pointer]
+                for j in range(width):
+                    out[row, j] += weight * dense[column, j]
+
+    return csr_spmm
+
+
+def numba_spmm(csr: sp.csr_matrix, dense: np.ndarray, out: np.ndarray,
+               accumulate: bool = False) -> np.ndarray:
+    """``out <- csr @ dense`` (or ``+=``) via the numba-compiled sweep.
+
+    Drop-in for the scipy in-place path: same in-place accumulate
+    semantics, same dtype-preserving arithmetic (the compiled loop
+    multiplies and adds in the operands' own dtype).  Raises
+    :class:`BackendUnavailableError` when numba is not installed —
+    callers must check :data:`HAVE_NUMBA` first.
+    """
+    global _numba_kernel
+    if not HAVE_NUMBA:
+        raise BackendUnavailableError(
+            "the compiled CSR sweep requires the numba package")
+    if _numba_kernel is None:
+        _numba_kernel = _build_numba_kernel()
+    if not accumulate:
+        out[...] = 0
+    _numba_kernel(csr.indptr, csr.indices, csr.data, dense, out)
+    return out

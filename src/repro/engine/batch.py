@@ -53,13 +53,15 @@ class BatchWorkspace:
         self.num_queries = int(num_queries)
         n, k = plan.num_nodes, plan.num_classes
         shape = (n, self.num_queries * k)
+        # All buffers live in the plan's dtype on the plan's array
+        # backend — the whole iteration then runs at that element width.
         # ``front`` must start zeroed (the default B̂⁰); the other buffers
         # are fully overwritten before their first read, so plain ``empty``
         # keeps workspace construction cheap.
-        self._explicit = np.empty(shape)
-        self._front = np.zeros(shape)
-        self._back = np.empty(shape)
-        self._scratch = np.empty(shape)
+        self._explicit = plan.backend.empty(shape, plan.dtype)
+        self._front = plan.backend.zeros(shape, plan.dtype)
+        self._back = plan.backend.empty(shape, plan.dtype)
+        self._scratch = plan.backend.empty(shape, plan.dtype)
 
     # ------------------------------------------------------------------ #
     # loading and reading query blocks
@@ -82,16 +84,21 @@ class BatchWorkspace:
             for query, start in enumerate(initial_beliefs):
                 if start is None:
                     continue
-                start = np.asarray(start, dtype=np.float64)
+                start = np.asarray(start, dtype=self.plan.dtype)
                 if start.shape != checked[query].shape:
                     raise ValidationError(
                         "initial beliefs must have the same shape as Ê")
                 self._front[:, query * k:(query + 1) * k] = start
 
     def beliefs(self, query: int) -> np.ndarray:
-        """Copy of the current ``n x k`` belief block of one query."""
+        """Copy of the current ``n x k`` belief block of one query.
+
+        Always a host (numpy) array in the plan's dtype, whatever array
+        backend the buffers live on.
+        """
         k = self.plan.num_classes
-        return self._front[:, query * k:(query + 1) * k].copy()
+        block = self._front[:, query * k:(query + 1) * k]
+        return np.array(self.plan.backend.to_numpy(block))
 
     # ------------------------------------------------------------------ #
     # one batched update step
@@ -205,6 +212,7 @@ def run_batch(plan: PropagationPlan, explicit_list: Sequence[np.ndarray],
             extra={"echo_cancellation": plan.echo_cancellation,
                    "epsilon": plan.coupling.epsilon,
                    "engine": "batch",
+                   "dtype": plan.dtype.name,
                    "batch_size": q},
         ))
     return results

@@ -1,0 +1,400 @@
+"""Lemma-8-certified mixed-precision propagation.
+
+The LinBP sweep is memory-bandwidth-bound, so running it in float32
+roughly doubles SpMM throughput (half the bytes per element) — *if* the
+answer is still trustworthy.  This module prices that trade a priori:
+
+* **LinBP.**  The iteration ``B ← Ê + A(BĤ) − D(BĤ²)`` is a linear
+  fixed-point map whose Lemma 8 spectral radius ``ρ`` the plan already
+  caches.  When ``ρ < 1`` every perturbation — including float32
+  rounding — is amplified by at most the geometric series ``1/(1−ρ)``.
+  One sweep rounds quantities no larger than ``s + m·s/(1−ρ)`` where
+  ``s`` is the magnitude of the explicit beliefs, ``m`` the update
+  operator's ∞-norm (:meth:`PropagationPlan.operator_infinity_norm`)
+  and ``s/(1−ρ)`` the belief-magnitude ceiling; with unit roundoff
+  ``u₃₂ = 2⁻²³`` and a safety factor covering the handful of rounded
+  operations per sweep, the total float32 error obeys
+
+  .. math::  e_\\infty \\;\\le\\; \\frac{u_{32} \\cdot S \\cdot
+             (s + m \\cdot s/(1-\\rho))}{1-\\rho}.
+
+* **SBP.**  The single pass multiplies through the ``L`` level slices
+  once; error introduced at one level is amplified by at most the
+  product of the downstream per-level gains ``g_j = ‖S_j‖_\\infty ·
+  ‖Ĥ‖_\\infty`` (:meth:`SBPPlan.slice_infinity_norms`), giving the
+  budget ``e_L ≤ u₃₂·S·s·L·max(∏ g_j, 1)``.
+
+:func:`decide_linbp`/:func:`decide_sbp` evaluate those budgets against a
+caller tolerance and return a :class:`PrecisionDecision`;
+:func:`run_batch_auto`/:func:`run_sbp_batch_auto` act on the decision —
+certified float32 sweep, plain float64 fallback, or (for LinBP) a
+float32 *presolve* whose converged beliefs seed a short float64
+refinement, so the expensive exact sweeps start next to the fixed point.
+
+Honesty note: at the engine's default tolerance of ``1e-10`` float32 can
+**never** certify (``u₃₂ ≈ 1.19e-7`` alone exceeds it), so auto mode
+degrades to exact float64 unless the caller loosens the tolerance — the
+certificate refuses rather than hand-waves.  All bounds are computed in
+float64 from float64 sources; a certificate must not be computed in the
+precision it certifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coupling.matrices import CouplingMatrix
+from repro.core.results import PropagationResult
+from repro.engine import backend as array_backend
+from repro.engine.batch import run_batch
+from repro.engine.plan import PropagationPlan, get_plan
+from repro.engine.sbp_plan import SBPPlan, get_sbp_plan, run_sbp_batch
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "PRECISION_MODES",
+    "FLOAT32_SAFETY",
+    "PrecisionDecision",
+    "validate_precision",
+    "strict_decision",
+    "explicit_scale",
+    "linbp_float32_bound",
+    "sbp_float32_bound",
+    "decide_linbp",
+    "decide_sbp",
+    "run_batch_auto",
+    "run_sbp_batch_auto",
+]
+
+#: Recognised precision modes: ``strict`` pins the requested dtype,
+#: ``auto`` certifies float32 against the tolerance and falls back.
+PRECISION_MODES = ("strict", "auto")
+
+#: Safety factor over the unit roundoff: one LinBP sweep (or one SBP
+#: level) rounds a handful of fused products and element-wise combines
+#: per entry — SpMM accumulate, two GEMMs, the echo subtraction — each
+#: contributing O(u) relative error.  Eight covers them with slack.
+FLOAT32_SAFETY = 8.0
+
+#: float32 unit roundoff (machine epsilon), 2**-23.
+_U32 = float(np.finfo(np.float32).eps)
+
+
+@dataclass(frozen=True)
+class PrecisionDecision:
+    """The outcome of a mixed-precision certification.
+
+    ``dtype`` is the element type the sweep actually ran (or should run)
+    in; ``certified`` is True only when the float32 rounding budget was
+    *proven* within ``tolerance`` (strict mode never certifies — it does
+    not evaluate the budget at all).  ``error_bound`` is the evaluated
+    float32 budget (None when not evaluated, ``inf`` when no a-priori
+    bound exists because ``ρ ≥ 1``), and ``reason`` says in one sentence
+    why the decision came out the way it did.
+    """
+
+    mode: str
+    dtype: str
+    certified: bool
+    tolerance: float
+    error_bound: Optional[float] = None
+    spectral_radius: Optional[float] = None
+    reason: str = ""
+
+    def as_extra(self) -> Dict[str, object]:
+        """The decision as a result-``extra`` payload (plain scalars)."""
+        return {
+            "mode": self.mode,
+            "dtype": self.dtype,
+            "certified": self.certified,
+            "tolerance": self.tolerance,
+            "error_bound": self.error_bound,
+            "spectral_radius": self.spectral_radius,
+            "reason": self.reason,
+        }
+
+
+def validate_precision(mode: str) -> str:
+    """Normalise/validate a precision mode, listing the valid choices."""
+    if mode not in PRECISION_MODES:
+        known = ", ".join(PRECISION_MODES)
+        raise ValidationError(
+            f"unknown precision mode {mode!r}; valid modes: {known}")
+    return mode
+
+
+def strict_decision(dtype, tolerance: float) -> PrecisionDecision:
+    """The (non-)decision of strict mode: run exactly the dtype asked for."""
+    name = array_backend.dtype_name(dtype)
+    return PrecisionDecision(
+        mode="strict", dtype=name, certified=False,
+        tolerance=float(tolerance),
+        reason=f"strict mode pins {name}; no certification performed")
+
+
+def explicit_scale(explicit_list: Sequence[np.ndarray]) -> float:
+    """``s = max |Ê|`` over a batch — the magnitude the budgets scale with."""
+    scale = 0.0
+    for explicit in explicit_list:
+        matrix = np.asarray(explicit)
+        if matrix.size:
+            scale = max(scale, float(np.abs(matrix).max()))
+    return scale
+
+
+# ---------------------------------------------------------------------- #
+# the rounding-error budgets
+# ---------------------------------------------------------------------- #
+def _max_row_nnz(indptr) -> int:
+    """Longest CSR row — the dot-product accumulation length of the SpMM."""
+    pointers = np.asarray(indptr)
+    if pointers.size <= 1:
+        return 0
+    return int(np.diff(pointers).max())
+
+
+def linbp_float32_bound(plan: PropagationPlan, scale: float = 1.0) -> float:
+    """Worst-case float32 *rounding* error of a LinBP run on this plan.
+
+    ``u₃₂·C·(s + m·B_max)/(1−ρ)`` with ``B_max = s/(1−ρ)`` and the
+    operation-count constant ``C = S + p + k`` (``p`` = longest adjacency
+    row, ``k`` = classes — the dot-product accumulation lengths whose
+    rounding compounds per entry, plus the :data:`FLOAT32_SAFETY` slack
+    for the element-wise combines).  ``inf`` when ``ρ ≥ 1``: the
+    geometric amplification argument needs contraction.
+    """
+    radius = plan.update_spectral_radius()
+    if radius >= 1.0:
+        return math.inf
+    scale = float(scale)
+    belief_ceiling = scale / (1.0 - radius)
+    indptr = plan.backend.to_numpy(plan.adjacency.indptr) \
+        if not isinstance(plan.adjacency.indptr, np.ndarray) \
+        else plan.adjacency.indptr
+    operations = FLOAT32_SAFETY + _max_row_nnz(indptr) + plan.num_classes
+    per_sweep = _U32 * operations * (
+        scale + plan.operator_infinity_norm() * belief_ceiling)
+    return per_sweep / (1.0 - radius)
+
+
+def sbp_float32_bound(plan: SBPPlan, residual_norm: float,
+                      scale: float = 1.0) -> float:
+    """Worst-case float32 rounding error of one SBP sweep on this plan.
+
+    ``u₃₂·C·s·L·max(∏ g_j, 1)`` where ``g_j = ‖S_j‖∞·‖Ĥ‖∞`` is the
+    magnitude gain of level ``j`` — error injected at any level is
+    amplified by at most the product of the gains downstream of it, and
+    each of the ``L`` levels injects fresh rounding.  ``C`` folds in the
+    longest slice row (the SpMM accumulation length) next to the
+    :data:`FLOAT32_SAFETY` slack.
+    """
+    norms = plan.slice_infinity_norms()
+    amplification = 1.0
+    for slice_norm in norms:
+        amplification *= slice_norm * float(residual_norm)
+    levels = max(len(norms), 1)
+    row_nnz = max((_max_row_nnz(block.indptr) for block in plan.slices),
+                  default=0)
+    operations = FLOAT32_SAFETY + row_nnz
+    return _U32 * operations * float(scale) * levels \
+        * max(amplification, 1.0)
+
+
+# ---------------------------------------------------------------------- #
+# the decisions
+# ---------------------------------------------------------------------- #
+def decide_linbp(plan: PropagationPlan, tolerance: float,
+                 scale: float = 1.0) -> PrecisionDecision:
+    """Certify (or refuse) a float32 LinBP run within ``tolerance``.
+
+    The certificate bounds the float32 run's total deviation from the
+    *exact fixed point*: the rounding budget of
+    :func:`linbp_float32_bound` plus the early-stopping truncation
+    ``tol·ρ/(1−ρ)`` that any run halting at belief-change ``tol``
+    incurs (a contraction step of size ``δ`` leaves the iterate within
+    ``δ·ρ/(1−ρ)`` of the fixed point).  Certified iff that total fits
+    the tolerance — so a certified float32 answer is as close to the
+    truth as the tolerance promises, rounding included.
+
+    ``plan`` should be the float64 reference plan — its cached spectral
+    radius and operator norm price the budget; the float32 plan never
+    needs to exist when the decision is a refusal.
+    """
+    radius = plan.update_spectral_radius()
+    if radius >= 1.0:
+        return PrecisionDecision(
+            mode="auto", dtype="float64", certified=False,
+            tolerance=float(tolerance), error_bound=math.inf,
+            spectral_radius=radius,
+            reason=f"Lemma 8 radius {radius:.4f} >= 1: no a-priori rounding "
+                   f"bound exists; running exact float64")
+    rounding = linbp_float32_bound(plan, scale=scale)
+    truncation = float(tolerance) * radius / (1.0 - radius)
+    bound = rounding + truncation
+    if bound <= tolerance:
+        return PrecisionDecision(
+            mode="auto", dtype="float32", certified=True,
+            tolerance=float(tolerance), error_bound=bound,
+            spectral_radius=radius,
+            reason=f"float32 deviation bound {bound:.3e} (rounding "
+                   f"{rounding:.3e} + stopping truncation {truncation:.3e}) "
+                   f"<= tolerance {tolerance:.3e} (Lemma 8 radius "
+                   f"{radius:.4f})")
+    return PrecisionDecision(
+        mode="auto", dtype="float64", certified=False,
+        tolerance=float(tolerance), error_bound=bound,
+        spectral_radius=radius,
+        reason=f"float32 deviation bound {bound:.3e} (rounding "
+               f"{rounding:.3e} + stopping truncation {truncation:.3e}) "
+               f"exceeds tolerance {tolerance:.3e}; falling back to float64")
+
+
+def decide_sbp(graph: Graph, coupling: CouplingMatrix,
+               explicit_list: Sequence[np.ndarray],
+               tolerance: float) -> PrecisionDecision:
+    """Certify (or refuse) a float32 SBP sweep for a whole batch.
+
+    The batch may mix labeled-node sets (each with its own level
+    structure), so the certificate takes the worst budget over the
+    distinct sets — exactly the groups :func:`run_sbp_batch` will sweep.
+    """
+    scale = explicit_scale(explicit_list)
+    residual64 = np.asarray(coupling.residual, dtype=np.float64)
+    residual_norm = float(np.abs(residual64).sum(axis=1).max()) \
+        if residual64.size else 0.0
+    bound = 0.0
+    for explicit in explicit_list:
+        matrix = np.asarray(explicit)
+        labeled = np.nonzero(np.any(matrix != 0.0, axis=1))[0]
+        plan = get_sbp_plan(graph, labeled)
+        bound = max(bound, sbp_float32_bound(plan, residual_norm,
+                                             scale=scale))
+    if bound <= tolerance:
+        return PrecisionDecision(
+            mode="auto", dtype="float32", certified=True,
+            tolerance=float(tolerance), error_bound=bound,
+            reason=f"float32 single-sweep bound {bound:.3e} <= tolerance "
+                   f"{tolerance:.3e} over {len(explicit_list)} queries")
+    return PrecisionDecision(
+        mode="auto", dtype="float64", certified=False,
+        tolerance=float(tolerance), error_bound=bound,
+        reason=f"float32 single-sweep bound {bound:.3e} exceeds tolerance "
+               f"{tolerance:.3e}; falling back to float64")
+
+
+# ---------------------------------------------------------------------- #
+# the drivers
+# ---------------------------------------------------------------------- #
+#: Stopping tolerance of the float32 presolve in refine mode — loose
+#: enough for float32 to reach it, tight enough that the float64
+#: refinement starts within a few sweeps of the fixed point.
+PRESOLVE_TOLERANCE = 1e-4
+
+
+def run_batch_auto(graph: Graph, coupling: CouplingMatrix,
+                   explicit_list: Sequence[np.ndarray],
+                   echo_cancellation: bool = True,
+                   max_iterations: int = 100, tolerance: float = 1e-10,
+                   num_iterations: Optional[int] = None,
+                   require_convergence: bool = False,
+                   refine: bool = True,
+                   ) -> Tuple[List[PropagationResult], PrecisionDecision]:
+    """Auto-precision LinBP batch: certified float32, else float64.
+
+    Evaluates :func:`decide_linbp` against the batch's explicit scale.
+    Certified → the whole run happens on the float32 plan.  Refused with
+    ``ρ < 1`` and ``refine=True`` → a float32 *presolve* converges to
+    :data:`PRESOLVE_TOLERANCE` first and its beliefs (upcast) seed the
+    exact float64 run, which then only needs the last few contraction
+    steps; the returned iteration counts and residual histories cover
+    the float64 refinement (the sweeps whose numerics the caller gets).
+    Refused with ``ρ ≥ 1`` → plain float64, nothing to presolve with.
+    A fixed ``num_iterations`` also skips the presolve — the caller
+    asked for an exact sweep count, which seeding would distort.
+
+    Returns the per-query results (each carrying the decision under
+    ``extra["precision"]``) and the decision itself.
+    """
+    tolerance = float(tolerance)
+    if tolerance <= 0:
+        raise ValidationError("tolerance must be positive")
+    plan64 = get_plan(graph, coupling, echo_cancellation=echo_cancellation)
+    if not explicit_list:
+        return [], decide_linbp(plan64, tolerance, scale=0.0)
+    scale = explicit_scale(explicit_list)
+    decision = decide_linbp(plan64, tolerance, scale=scale)
+    if decision.certified:
+        plan32 = get_plan(graph, coupling,
+                          echo_cancellation=echo_cancellation,
+                          dtype=np.float32)
+        results = run_batch(plan32, explicit_list,
+                            max_iterations=max_iterations,
+                            tolerance=tolerance,
+                            num_iterations=num_iterations,
+                            require_convergence=require_convergence)
+    else:
+        initial: Optional[List[Optional[np.ndarray]]] = None
+        presolved = False
+        if refine and num_iterations is None \
+                and decision.spectral_radius is not None \
+                and decision.spectral_radius < 1.0 \
+                and tolerance < PRESOLVE_TOLERANCE:
+            plan32 = get_plan(graph, coupling,
+                              echo_cancellation=echo_cancellation,
+                              dtype=np.float32)
+            warm = run_batch(plan32, explicit_list,
+                             max_iterations=max_iterations,
+                             tolerance=PRESOLVE_TOLERANCE)
+            initial = [result.beliefs.astype(np.float64)
+                       for result in warm]
+            presolved = True
+        results = run_batch(plan64, explicit_list, initial_beliefs=initial,
+                            max_iterations=max_iterations,
+                            tolerance=tolerance,
+                            num_iterations=num_iterations,
+                            require_convergence=require_convergence)
+        if presolved:
+            decision = PrecisionDecision(
+                mode=decision.mode, dtype=decision.dtype,
+                certified=decision.certified, tolerance=decision.tolerance,
+                error_bound=decision.error_bound,
+                spectral_radius=decision.spectral_radius,
+                reason=decision.reason + "; float32 presolve seeded the "
+                       "float64 refinement")
+    payload = decision.as_extra()
+    for result in results:
+        result.extra["precision"] = dict(payload)
+    return results, decision
+
+
+def run_sbp_batch_auto(graph: Graph, coupling: CouplingMatrix,
+                       explicit_list: Sequence[np.ndarray],
+                       tolerance: float = 1e-10,
+                       ) -> Tuple[List[PropagationResult], PrecisionDecision]:
+    """Auto-precision SBP batch: certified float32 sweep, else float64.
+
+    SBP is a single pass — there is nothing to refine — so the refusal
+    path is simply the exact float64 sweep.  Returns the per-query
+    results (decision attached under ``extra["precision"]``) and the
+    decision.
+    """
+    tolerance = float(tolerance)
+    if tolerance <= 0:
+        raise ValidationError("tolerance must be positive")
+    if not explicit_list:
+        return [], PrecisionDecision(
+            mode="auto", dtype="float64", certified=False,
+            tolerance=tolerance, reason="empty batch; nothing to certify")
+    decision = decide_sbp(graph, coupling, explicit_list, tolerance)
+    results = run_sbp_batch(graph, coupling, explicit_list,
+                            dtype=np.float32 if decision.certified
+                            else np.float64)
+    payload = decision.as_extra()
+    for result in results:
+        result.extra["precision"] = dict(payload)
+    return results, decision

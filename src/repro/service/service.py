@@ -62,8 +62,10 @@ from repro.core.incremental import IncrementalLinBP
 from repro.core.results import PropagationResult
 from repro.core.sbp import SBP
 from repro.coupling.matrices import CouplingMatrix
+from repro.engine import backend as array_backend
 from repro.engine import batch as engine_batch
 from repro.engine import plan as engine_plan
+from repro.engine import precision as engine_precision
 from repro.engine import sbp_plan as engine_sbp
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Edge, Graph
@@ -291,7 +293,8 @@ class PropagationService:
     def query(self, graph_name: str, coupling: CouplingMatrix,
               explicit_residuals: np.ndarray, method: str = "linbp",
               max_iterations: int = 100, tolerance: float = 1e-10,
-              num_iterations: Optional[int] = None) -> PropagationResult:
+              num_iterations: Optional[int] = None,
+              dtype=None, precision: str = "strict") -> PropagationResult:
         """Run one propagation query, coalescing with concurrent peers.
 
         Semantically identical to calling :func:`repro.core.linbp.linbp`
@@ -302,12 +305,24 @@ class PropagationService:
         when an identical request (same snapshot version, same explicit
         bytes) was answered recently; cached results are shared — treat
         them as read-only.
+
+        ``dtype`` and ``precision`` select the kernel element width.
+        ``precision="strict"`` (default) runs exactly the requested
+        ``dtype`` (float64 default — bit-for-bit the historical
+        numerics); ``precision="auto"`` ignores ``dtype`` and lets the
+        Lemma-8 rounding certificate choose: certified float32 when the
+        error budget fits ``tolerance``, exact float64 (with a float32
+        presolve on the unsharded path) otherwise — the decision rides
+        on each result under ``extra["precision"]``.
         """
         if method not in _METHODS:
             raise ValidationError(
                 f"unknown method {method!r}; expected one of "
                 f"{sorted(_METHODS)}")
         family, echo = _METHODS[method]
+        precision = engine_precision.validate_precision(precision)
+        dtype = array_backend.canonical_dtype(
+            dtype if dtype is not None else array_backend.DEFAULT_DTYPE)
         entry = self._entry(graph_name)
         snapshot = entry.snapshot
         explicit = np.ascontiguousarray(explicit_residuals, dtype=np.float64)
@@ -322,10 +337,13 @@ class PropagationService:
             # Single-pass SBP ignores the iterative solver parameters, so
             # they must not fragment the batch/result keys: requests that
             # differ only in max_iterations/tolerance coalesce and share
-            # cached results.
-            params: Tuple = (method,)
+            # cached results.  Auto precision is the exception — its
+            # certificate depends on the tolerance, so it joins the key.
+            params: Tuple = (method, dtype.name, precision) \
+                + ((float(tolerance),) if precision == "auto" else ())
         else:
-            params = (method, int(max_iterations), float(tolerance),
+            params = (method, dtype.name, precision,
+                      int(max_iterations), float(tolerance),
                       num_iterations if num_iterations is None
                       else int(num_iterations))
         coupling_id = engine_plan.coupling_key(coupling)
@@ -340,9 +358,14 @@ class PropagationService:
                          coupling_id, labeled.tobytes())
 
             def dispatch(items: List[object]) -> Sequence[PropagationResult]:
+                explicits = [item[0] for item in items]
+                if precision == "auto":
+                    results, _ = engine_precision.run_sbp_batch_auto(
+                        snapshot.graph, coupling, explicits,
+                        tolerance=tolerance)
+                    return results
                 return engine_sbp.run_sbp_batch(
-                    snapshot.graph, coupling,
-                    [item[0] for item in items])
+                    snapshot.graph, coupling, explicits, dtype=dtype)
         else:
             batch_key = (id(snapshot.graph), snapshot.version, params,
                          coupling_id)
@@ -353,9 +376,18 @@ class PropagationService:
                     return self._dispatch_sharded(
                         entry, snapshot, coupling, echo, explicits,
                         max_iterations=max_iterations, tolerance=tolerance,
+                        num_iterations=num_iterations,
+                        dtype=dtype, precision=precision)
+                if precision == "auto":
+                    results, _ = engine_precision.run_batch_auto(
+                        snapshot.graph, coupling, explicits,
+                        echo_cancellation=echo,
+                        max_iterations=max_iterations, tolerance=tolerance,
                         num_iterations=num_iterations)
+                    return results
                 plan = engine_plan.get_plan(snapshot.graph, coupling,
-                                            echo_cancellation=echo)
+                                            echo_cancellation=echo,
+                                            dtype=dtype)
                 return engine_batch.run_batch(
                     plan, explicits,
                     max_iterations=max_iterations, tolerance=tolerance,
@@ -379,7 +411,8 @@ class PropagationService:
                           coupling: CouplingMatrix, echo: bool,
                           explicits: List[np.ndarray],
                           max_iterations: int, tolerance: float,
-                          num_iterations: Optional[int]
+                          num_iterations: Optional[int],
+                          dtype=None, precision: str = "strict"
                           ) -> Sequence[PropagationResult]:
         """Run one coalesced batch through the shard block engine.
 
@@ -389,9 +422,26 @@ class PropagationService:
         graph — the pool owns a single set of belief buffers).  A batch
         wider than the pool's buffer capacity falls back to a one-off
         in-process execution rather than failing.
+
+        Auto precision evaluates the Lemma-8 certificate on the global
+        (cached, float64) plan before choosing the block plan's dtype:
+        certified batches sweep float32 shard blocks, refusals sweep
+        exact float64 (no presolve — the pool runs one dtype at a time,
+        and seeding would double its traffic).
         """
+        if dtype is None:
+            dtype = array_backend.DEFAULT_DTYPE
+        decision = None
+        if precision == "auto":
+            plan64 = engine_plan.get_plan(snapshot.graph, coupling,
+                                          echo_cancellation=echo)
+            decision = engine_precision.decide_linbp(
+                plan64, tolerance,
+                scale=engine_precision.explicit_scale(explicits))
+            dtype = np.float32 if decision.certified else np.float64
         plan = shard_engine.get_sharded_plan(snapshot.partition, coupling,
-                                             echo_cancellation=echo)
+                                             echo_cancellation=echo,
+                                             dtype=dtype)
         width = len(explicits) * coupling.num_classes
         with entry.executor_lock:
             executor = entry.executor
@@ -404,13 +454,21 @@ class PropagationService:
                 entry.executor = executor
             capacity = getattr(executor, "capacity", None)
             if capacity is None or width <= capacity:
-                return shard_engine.run_sharded_batch(
+                results = shard_engine.run_sharded_batch(
                     plan, explicits, max_iterations=max_iterations,
                     tolerance=tolerance, num_iterations=num_iterations,
                     executor=executor)
-        return shard_engine.run_sharded_batch(
-            plan, explicits, max_iterations=max_iterations,
-            tolerance=tolerance, num_iterations=num_iterations)
+            else:
+                executor = None
+        if executor is None:
+            results = shard_engine.run_sharded_batch(
+                plan, explicits, max_iterations=max_iterations,
+                tolerance=tolerance, num_iterations=num_iterations)
+        if decision is not None:
+            payload = decision.as_extra()
+            for result in results:
+                result.extra["precision"] = dict(payload)
+        return results
 
     def _make_executor(self, partition: GraphPartition, num_classes: int):
         """Build the configured shard executor for one partition.

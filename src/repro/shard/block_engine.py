@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.results import PropagationResult
 from repro.coupling.matrices import CouplingMatrix
+from repro.engine import backend as array_backend
 from repro.engine import kernels
 from repro.engine import plan as engine_plan
 from repro.exceptions import NotConvergentParametersError, ValidationError
@@ -66,13 +67,19 @@ class ShardedPlan:
     """
 
     def __init__(self, partition: GraphPartition, coupling: CouplingMatrix,
-                 echo_cancellation: bool = True):
+                 echo_cancellation: bool = True,
+                 dtype=array_backend.DEFAULT_DTYPE):
         self._partition_ref = weakref.ref(partition)
         self.coupling = coupling
         self.echo_cancellation = bool(echo_cancellation)
-        self.residual: np.ndarray = np.ascontiguousarray(coupling.residual)
-        self.residual_squared: np.ndarray = \
-            np.ascontiguousarray(coupling.residual_squared)
+        self.dtype: np.dtype = array_backend.canonical_dtype(dtype)
+        self.residual: np.ndarray = np.ascontiguousarray(
+            coupling.residual, dtype=self.dtype)
+        self.residual_squared: np.ndarray = np.ascontiguousarray(
+            coupling.residual_squared, dtype=self.dtype)
+        # Non-default dtypes get shadow shard blocks (values cast, index
+        # arrays shared with the partition), built lazily on first use.
+        self._typed_blocks: Optional[List[ShardBlock]] = None
 
     @property
     def partition(self) -> Optional[GraphPartition]:
@@ -90,8 +97,13 @@ class ShardedPlan:
 
     @property
     def blocks(self) -> List[ShardBlock]:
-        """The partition's shard blocks."""
-        return self._live_partition().blocks
+        """The partition's shard blocks, in the plan's dtype."""
+        if self.dtype == np.float64:
+            return self._live_partition().blocks
+        if self._typed_blocks is None:
+            self._typed_blocks = [block.astype(self.dtype)
+                                  for block in self._live_partition().blocks]
+        return self._typed_blocks
 
     @property
     def num_shards(self) -> int:
@@ -127,7 +139,7 @@ class ShardedPlan:
 
     def check_explicit(self, explicit_residuals: np.ndarray) -> np.ndarray:
         """Validate one ``n x k`` explicit-belief matrix against the plan."""
-        explicit = np.asarray(explicit_residuals, dtype=np.float64)
+        explicit = np.asarray(explicit_residuals, dtype=self.dtype)
         if explicit.ndim != 2:
             raise ValidationError("explicit beliefs must be a 2-D matrix")
         if explicit.shape != (self.num_nodes, self.num_classes):
@@ -146,19 +158,23 @@ engine_plan.register_auxiliary_cache(
 
 
 def get_sharded_plan(partition: GraphPartition, coupling: CouplingMatrix,
-                     echo_cancellation: bool = True) -> ShardedPlan:
+                     echo_cancellation: bool = True,
+                     dtype=array_backend.DEFAULT_DTYPE) -> ShardedPlan:
     """Return the (cached) sharded plan for a partition and coupling.
 
     Keyed like :func:`repro.engine.plan.get_plan` — graph identity plus
-    coupling values plus the echo flag — with the partition's identity
-    added, so repartitioning the same graph yields a fresh plan.
+    coupling values plus the echo flag plus the canonical dtype — with
+    the partition's identity added, so repartitioning the same graph
+    (or asking for a float32 plan next to a float64 one) yields a fresh
+    plan.
     """
-    key_suffix = (id(partition), bool(echo_cancellation)) \
+    key_suffix = (id(partition), bool(echo_cancellation),
+                  array_backend.dtype_name(dtype)) \
         + engine_plan.coupling_key(coupling)
     plan = _sharded_plan_cache.lookup(partition.graph, key_suffix)
     if plan is None or plan.partition is not partition:
         plan = ShardedPlan(partition, coupling,
-                           echo_cancellation=echo_cancellation)
+                           echo_cancellation=echo_cancellation, dtype=dtype)
         _sharded_plan_cache.store(partition.graph, key_suffix, plan)
     return plan
 
@@ -175,13 +191,17 @@ class ShardBuffers:
     ``scratch`` the coupling products.
     """
 
-    def __init__(self, block: ShardBlock, width: int):
+    def __init__(self, block: ShardBlock, width: int,
+                 dtype=array_backend.DEFAULT_DTYPE):
         self.width = int(width)
-        self.gather = np.empty((block.column_nodes.size, width))
-        self.scratch = np.empty((block.column_nodes.size, width))
-        self.out = np.empty((block.num_nodes, width))
-        self.scratch_own = np.empty((block.num_nodes, width))
-        self.explicit = np.empty((block.num_nodes, width))
+        self.dtype = array_backend.canonical_dtype(dtype)
+        columns = block.column_nodes.size
+        self.gather = np.empty((columns, width), dtype=self.dtype)
+        self.scratch = np.empty((columns, width), dtype=self.dtype)
+        self.out = np.empty((block.num_nodes, width), dtype=self.dtype)
+        self.scratch_own = np.empty((block.num_nodes, width),
+                                    dtype=self.dtype)
+        self.explicit = np.empty((block.num_nodes, width), dtype=self.dtype)
 
     def load_explicit(self, block: ShardBlock, explicit_stack: np.ndarray
                       ) -> None:
@@ -201,7 +221,7 @@ def shard_step(block: ShardBlock, buffers: ShardBuffers, front: np.ndarray,
     change — the local residual the convergence reduction combines.
     """
     if block.num_nodes == 0:
-        return np.zeros(buffers.width // num_classes)
+        return np.zeros(buffers.width // num_classes, dtype=buffers.dtype)
     np.take(front, block.column_nodes, axis=0, out=buffers.gather)
     kernels.block_matmul(buffers.gather, residual, out=buffers.scratch,
                          num_classes=num_classes)
@@ -243,6 +263,7 @@ class SequentialShardExecutor:
         self._back: Optional[np.ndarray] = None
         self._buffers: List[ShardBuffers] = []
         self._width = -1
+        self._dtype: Optional[np.dtype] = None
 
     def load(self, plan: ShardedPlan, explicit_stack: np.ndarray,
              initial_stack: Optional[np.ndarray] = None) -> None:
@@ -251,12 +272,13 @@ class SequentialShardExecutor:
             raise ValidationError(
                 "plan was built for a different partition")
         width = explicit_stack.shape[1]
-        if width != self._width:
-            self._front = np.empty((plan.num_nodes, width))
-            self._back = np.empty((plan.num_nodes, width))
-            self._buffers = [ShardBuffers(block, width)
+        if width != self._width or plan.dtype != self._dtype:
+            self._front = np.empty((plan.num_nodes, width), dtype=plan.dtype)
+            self._back = np.empty((plan.num_nodes, width), dtype=plan.dtype)
+            self._buffers = [ShardBuffers(block, width, dtype=plan.dtype)
                              for block in plan.blocks]
             self._width = width
+            self._dtype = plan.dtype
         self._plan = plan
         if initial_stack is None:
             self._front[...] = 0.0
@@ -269,7 +291,7 @@ class SequentialShardExecutor:
         """One synchronous sweep over all shards; per-query max change."""
         plan = self._plan
         k = plan.num_classes
-        changes = np.zeros(self._width // k)
+        changes = np.zeros(self._width // k, dtype=plan.dtype)
         for block, buffers in zip(plan.blocks, self._buffers):
             local = shard_step(block, buffers, self._front, self._back,
                                plan.residual, plan.residual_squared,
@@ -288,6 +310,7 @@ class SequentialShardExecutor:
         self._front = self._back = None
         self._buffers = []
         self._width = -1
+        self._dtype = None
 
     def __enter__(self) -> "SequentialShardExecutor":
         return self
@@ -330,14 +353,14 @@ def run_sharded_batch(plan: ShardedPlan,
     q, k = len(explicit_list), plan.num_classes
     checked = [plan.check_explicit(explicit) for explicit in explicit_list]
     explicit_stack = np.concatenate(checked, axis=1) if plan.num_nodes \
-        else np.zeros((0, q * k))
+        else np.zeros((0, q * k), dtype=plan.dtype)
     initial_stack = None
     if initial_beliefs is not None:
         initial_stack = np.zeros_like(explicit_stack)
         for query, start in enumerate(initial_beliefs):
             if start is None:
                 continue
-            start = np.asarray(start, dtype=np.float64)
+            start = np.asarray(start, dtype=plan.dtype)
             if start.shape != checked[query].shape:
                 raise ValidationError(
                     "initial beliefs must have the same shape as Ê")
@@ -383,6 +406,7 @@ def run_sharded_batch(plan: ShardedPlan,
                        "epsilon": plan.coupling.epsilon,
                        "engine": "shard",
                        "num_shards": plan.num_shards,
+                       "dtype": plan.dtype.name,
                        "batch_size": q},
             ))
         return results

@@ -104,6 +104,24 @@ class ShardBlock:
         self.adjacency = adjacency
         self.degrees = degrees
 
+    def astype(self, dtype) -> "ShardBlock":
+        """This block with its numeric payload cast to another dtype.
+
+        Only the adjacency values and the degree vector are copied; the
+        index arrays (nodes, halo maps, CSR structure) are shared with
+        the original, so a float32 shadow of a partition costs the value
+        arrays alone.  Returns ``self`` when the dtype already matches.
+        """
+        dtype = np.dtype(dtype)
+        if self.adjacency.dtype == dtype and self.degrees.dtype == dtype:
+            return self
+        adjacency = sp.csr_matrix(
+            (self.adjacency.data.astype(dtype), self.adjacency.indices,
+             self.adjacency.indptr), shape=self.adjacency.shape)
+        return ShardBlock(self.shard_id, self.nodes, self.halo_nodes,
+                          self.halo_owners, adjacency,
+                          self.degrees.astype(dtype))
+
     @property
     def num_nodes(self) -> int:
         """Number of owned nodes ``n_s``."""

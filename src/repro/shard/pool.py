@@ -122,12 +122,14 @@ class ShardWorkerPool:
         except Exception:
             self.close()
             raise
-        self._even = np.ndarray((n, self.capacity), dtype=np.float64,
-                                buffer=self._segments["even"].buf)
-        self._odd = np.ndarray((n, self.capacity), dtype=np.float64,
-                               buffer=self._segments["odd"].buf)
-        self._explicit = np.ndarray((n, self.capacity), dtype=np.float64,
-                                    buffer=self._segments["explicit"].buf)
+        # Segments are sized for float64 (8 bytes per stacked column);
+        # narrower dtypes view a prefix of the same bytes, so one pool
+        # serves float64 and float32 batches without reallocation.  The
+        # per-shard residual table stays float64 — it is tiny and the
+        # convergence reduction should not lose width.
+        self._num_nodes = n
+        self._views = {}
+        self._even, self._odd, self._explicit = self._dtype_views(np.float64)
         self._residuals = np.ndarray((p, self.capacity), dtype=np.float64,
                                      buffer=self._segments["residual"].buf)
         if context is None:
@@ -153,6 +155,18 @@ class ShardWorkerPool:
     # ------------------------------------------------------------------ #
     # executor contract (same as SequentialShardExecutor)
     # ------------------------------------------------------------------ #
+    def _dtype_views(self, dtype):
+        """The (even, odd, explicit) buffer views for one element type."""
+        dtype = np.dtype(dtype)
+        views = self._views.get(dtype.name)
+        if views is None:
+            views = tuple(
+                np.ndarray((self._num_nodes, self.capacity), dtype=dtype,
+                           buffer=self._segments[key].buf)
+                for key in ("even", "odd", "explicit"))
+            self._views[dtype.name] = views
+        return views
+
     def load(self, plan: block_engine.ShardedPlan,
              explicit_stack: np.ndarray,
              initial_stack: Optional[np.ndarray] = None) -> None:
@@ -170,13 +184,14 @@ class ShardWorkerPool:
         self._width = width
         self._num_queries = width // plan.num_classes
         self._parity = 0
+        self._even, self._odd, self._explicit = self._dtype_views(plan.dtype)
         self._explicit[:, :width] = explicit_stack
         if initial_stack is None:
             self._even[:, :width] = 0.0
         else:
             self._even[:, :width] = initial_stack
         self._broadcast(("load", width, plan.num_classes,
-                         plan.echo_cancellation,
+                         plan.echo_cancellation, plan.dtype.name,
                          plan.residual.tobytes(),
                          plan.residual_squared.tobytes()))
 
@@ -220,6 +235,7 @@ class ShardWorkerPool:
         # Drop the numpy views before closing the mappings (an exported
         # buffer keeps the mmap alive and SharedMemory.close would fail).
         self._even = self._odd = self._explicit = self._residuals = None
+        self._views = {}
         for segment in getattr(self, "_segments", {}).values():
             try:
                 segment.close()
@@ -273,14 +289,26 @@ def _pool_worker(block: ShardBlock, num_nodes: int, num_shards: int,
     import traceback
 
     segments = {key: _attach(name) for key, name in names.items()}
-    even = np.ndarray((num_nodes, capacity), dtype=np.float64,
-                      buffer=segments["even"].buf)
-    odd = np.ndarray((num_nodes, capacity), dtype=np.float64,
-                     buffer=segments["odd"].buf)
-    explicit = np.ndarray((num_nodes, capacity), dtype=np.float64,
-                          buffer=segments["explicit"].buf)
+    views = {}
+
+    def dtype_views(dtype):
+        """Per-dtype (even, odd, explicit) views of the shared buffers."""
+        triple = views.get(dtype.name)
+        if triple is None:
+            triple = tuple(
+                np.ndarray((num_nodes, capacity), dtype=dtype,
+                           buffer=segments[key].buf)
+                for key in ("even", "odd", "explicit"))
+            views[dtype.name] = triple
+        return triple
+
+    even, odd, explicit = dtype_views(np.dtype(np.float64))
     residuals = np.ndarray((num_shards, capacity), dtype=np.float64,
                            buffer=segments["residual"].buf)
+    # The block arrives in float64; narrower batches use a lazily cast
+    # shadow (index arrays shared), kept for the pool's lifetime.
+    typed_blocks = {np.dtype(np.float64).name: block}
+    local_block = block
     buffers = None
     width = num_classes = 0
     echo = True
@@ -294,20 +322,31 @@ def _pool_worker(block: ShardBlock, num_nodes: int, num_shards: int,
                 if kind == "stop":
                     break
                 if kind == "load":
-                    _, width, num_classes, echo, h_bytes, h2_bytes = message
-                    coupling = np.frombuffer(h_bytes).reshape(
+                    (_, width, num_classes, echo, dtype_name,
+                     h_bytes, h2_bytes) = message
+                    dtype = np.dtype(dtype_name)
+                    even, odd, explicit = dtype_views(dtype)
+                    local_block = typed_blocks.get(dtype.name)
+                    if local_block is None:
+                        local_block = typed_blocks.setdefault(
+                            dtype.name, block.astype(dtype))
+                    coupling = np.frombuffer(h_bytes, dtype=dtype).reshape(
                         num_classes, num_classes)
-                    coupling_squared = np.frombuffer(h2_bytes).reshape(
+                    coupling_squared = np.frombuffer(
+                        h2_bytes, dtype=dtype).reshape(
                         num_classes, num_classes)
-                    if buffers is None or buffers.width != width:
-                        buffers = block_engine.ShardBuffers(block, width)
-                    buffers.load_explicit(block, explicit[:, :width])
+                    if buffers is None or buffers.width != width \
+                            or buffers.dtype != dtype:
+                        buffers = block_engine.ShardBuffers(
+                            block, width, dtype=dtype)
+                    buffers.load_explicit(local_block, explicit[:, :width])
                     parity = 0
                 elif kind == "step":
                     front = even if parity == 0 else odd
                     back = odd if parity == 0 else even
                     changes = block_engine.shard_step(
-                        block, buffers, front[:, :width], back[:, :width],
+                        local_block, buffers,
+                        front[:, :width], back[:, :width],
                         coupling, coupling_squared, echo, num_classes)
                     residuals[block.shard_id, :changes.size] = changes
                     parity ^= 1
@@ -321,6 +360,7 @@ def _pool_worker(block: ShardBlock, num_nodes: int, num_shards: int,
     finally:
         buffers = None
         even = odd = explicit = residuals = None
+        views.clear()
         for segment in segments.values():
             segment.close()
         connection.close()

@@ -1,0 +1,111 @@
+"""The array-backend layer: dtype canonicalisation, registry, capability report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.engine import backend
+from repro.exceptions import BackendUnavailableError, UnknownBackendError
+
+
+class TestCanonicalDtype:
+    @pytest.mark.parametrize("spec", ["float32", np.float32,
+                                      np.dtype(np.float32)])
+    def test_float32_specs_normalise(self, spec):
+        assert backend.canonical_dtype(spec) == np.dtype(np.float32)
+
+    @pytest.mark.parametrize("spec", ["float64", np.float64, float,
+                                      np.dtype(np.float64)])
+    def test_float64_specs_normalise(self, spec):
+        assert backend.canonical_dtype(spec) == np.dtype(np.float64)
+
+    @pytest.mark.parametrize("spec", ["float16", np.int32, "complex128",
+                                      "bananas"])
+    def test_unsupported_dtypes_rejected_listing_choices(self, spec):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            backend.canonical_dtype(spec)
+        message = str(excinfo.value)
+        assert "float32" in message and "float64" in message
+
+    def test_dtype_name_is_the_cache_key_component(self):
+        assert backend.dtype_name(np.float32) == "float32"
+        assert backend.dtype_name("float64") == "float64"
+
+    def test_default_dtype_is_float64(self):
+        assert backend.DEFAULT_DTYPE == np.dtype(np.float64)
+
+
+class TestRegistry:
+    def test_numpy_backend_always_available(self):
+        instance = backend.get_array_backend("numpy")
+        assert instance.name == "numpy"
+        # Shared instance: repeated lookups return the same object.
+        assert backend.get_array_backend("numpy") is instance
+
+    def test_unknown_backend_rejected_listing_registry(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            backend.get_array_backend("tpu")
+        message = str(excinfo.value)
+        assert "numpy" in message and "cupy" in message
+
+    def test_unavailable_backend_raises_backend_unavailable(self):
+        if backend.CupyBackend.is_available():
+            pytest.skip("cupy installed on this host; nothing to gate")
+        with pytest.raises(BackendUnavailableError):
+            backend.get_array_backend("cupy")
+
+    def test_numpy_backend_roundtrip(self):
+        instance = backend.get_array_backend("numpy")
+        block = instance.zeros((3, 2), np.dtype(np.float32))
+        assert block.dtype == np.float32 and not block.any()
+        dense = instance.asarray([[1.0, 2.0]], np.dtype(np.float32))
+        assert dense.dtype == np.float32 and dense.flags.c_contiguous
+        matrix = sp.csr_matrix(np.eye(3))
+        assert instance.csr(matrix, np.dtype(np.float64)) is matrix
+        assert instance.csr(matrix, np.dtype(np.float32)).dtype == np.float32
+        assert instance.to_numpy(dense) is dense
+
+
+class TestCapabilityReport:
+    def test_report_covers_backends_and_kernels(self):
+        rows = {entry["name"]: entry for entry in backend.array_backend_info()}
+        assert set(rows) == {"numpy", "cupy", "spmm-inplace", "spmm-numba"}
+        assert rows["numpy"]["available"] is True
+        assert rows["numpy"]["engine"].startswith("numpy ")
+        for entry in rows.values():
+            assert entry["dtypes"] == ["float32", "float64"]
+
+    def test_numba_row_reflects_probe(self):
+        rows = {entry["name"]: entry for entry in backend.array_backend_info()}
+        assert rows["spmm-numba"]["available"] == backend.HAVE_NUMBA
+        if not backend.HAVE_NUMBA:
+            assert rows["spmm-numba"]["engine"] == "not installed"
+
+
+class TestNumbaSpmm:
+    def test_numba_spmm_unavailable_raises_cleanly(self, monkeypatch):
+        monkeypatch.setattr(backend, "HAVE_NUMBA", False)
+        matrix = sp.csr_matrix(np.eye(2))
+        dense = np.ones((2, 2))
+        with pytest.raises(BackendUnavailableError):
+            backend.numba_spmm(matrix, dense, np.empty_like(dense))
+
+    def test_numba_spmm_matches_scipy_when_installed(self):
+        if not backend.HAVE_NUMBA:
+            pytest.skip("numba not installed on this host")
+        rng = np.random.default_rng(3)
+        matrix = sp.random(30, 30, density=0.2, random_state=5, format="csr")
+        for dtype in (np.float64, np.float32):
+            typed = matrix.astype(dtype)
+            dense = np.ascontiguousarray(rng.standard_normal((30, 4)),
+                                         dtype=dtype)
+            out = np.empty_like(dense)
+            backend.numba_spmm(typed, dense, out)
+            expected = typed @ dense
+            assert out.dtype == dtype
+            assert np.allclose(out, expected, atol=1e-6)
+            accumulated = expected.copy()
+            backend.numba_spmm(typed, dense, accumulated, accumulate=True)
+            assert np.allclose(accumulated, 2 * expected, atol=1e-6)

@@ -1,0 +1,243 @@
+"""The Lemma-8-certified mixed-precision layer: a cross-dtype differential suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coupling import synthetic_residual_matrix
+from repro.engine import (
+    clear_plan_cache,
+    get_plan,
+    run_batch,
+    run_batch_auto,
+    run_sbp_batch,
+    run_sbp_batch_auto,
+)
+from repro.engine import precision
+from repro.exceptions import ValidationError
+from repro.graphs import random_graph
+from repro.beliefs import BeliefMatrix
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    # clear_plan_cache also clears the SBP plan cache (registered as an
+    # auxiliary cache in repro.engine.sbp_plan).
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _workload(num_queries: int = 3, epsilon: float = 0.05):
+    graph = random_graph(40, 0.12, seed=7)
+    coupling = synthetic_residual_matrix(epsilon=epsilon)
+    rng = np.random.default_rng(11)
+    explicit_list = []
+    for _ in range(num_queries):
+        explicit = np.zeros((graph.num_nodes, 3))
+        for node in rng.choice(graph.num_nodes, size=6, replace=False):
+            values = rng.uniform(-0.1, 0.1, size=2)
+            explicit[node] = [values[0], values[1], -values.sum()]
+        explicit_list.append(explicit)
+    return graph, coupling, explicit_list
+
+
+class TestDtypePlans:
+    def test_float64_dtype_is_the_same_cached_plan(self):
+        graph, coupling, _ = _workload()
+        assert get_plan(graph, coupling) is \
+            get_plan(graph, coupling, dtype="float64")
+
+    def test_float32_plan_coexists_and_is_distinct(self):
+        graph, coupling, _ = _workload()
+        plan64 = get_plan(graph, coupling)
+        plan32 = get_plan(graph, coupling, dtype=np.float32)
+        assert plan32 is not plan64
+        assert plan32.dtype == np.float32
+        assert plan32.adjacency.dtype == np.float32
+        assert plan64.adjacency.dtype == np.float64
+
+    def test_strict_float64_results_bit_identical_to_default_engine(self):
+        graph, coupling, explicit_list = _workload()
+        default = run_batch(get_plan(graph, coupling), explicit_list)
+        strict = run_batch(get_plan(graph, coupling, dtype="float64"),
+                           explicit_list)
+        for a, b in zip(default, strict):
+            assert np.array_equal(a.beliefs, b.beliefs)
+            assert a.iterations == b.iterations
+
+    def test_strict_float32_runs_in_float32_and_stays_close(self):
+        graph, coupling, explicit_list = _workload()
+        exact = run_batch(get_plan(graph, coupling), explicit_list)
+        narrow = run_batch(get_plan(graph, coupling, dtype=np.float32),
+                           explicit_list)
+        for a, b in zip(exact, narrow):
+            assert b.beliefs.dtype == np.float32
+            assert np.abs(a.beliefs - b.beliefs).max() < 1e-5
+            assert b.extra["dtype"] == "float32"
+
+
+class TestLinBPCertificate:
+    def test_loose_tolerance_certifies_float32(self):
+        graph, coupling, explicit_list = _workload()
+        plan = get_plan(graph, coupling)
+        decision = precision.decide_linbp(
+            plan, 1e-3, precision.explicit_scale(explicit_list))
+        assert decision.certified and decision.dtype == "float32"
+        assert decision.error_bound <= 1e-3
+        assert decision.spectral_radius < 1.0
+
+    def test_default_tolerance_refuses_float32(self):
+        # Honesty check: u32 ~ 1.19e-7 alone exceeds 1e-10, so the
+        # certificate must refuse - auto never hand-waves.
+        graph, coupling, explicit_list = _workload()
+        plan = get_plan(graph, coupling)
+        decision = precision.decide_linbp(
+            plan, 1e-10, precision.explicit_scale(explicit_list))
+        assert not decision.certified and decision.dtype == "float64"
+        assert "falling back" in decision.reason
+
+    def test_divergent_radius_has_no_bound(self):
+        graph, coupling, explicit_list = _workload(epsilon=2.0)
+        plan = get_plan(graph, coupling)
+        assert plan.update_spectral_radius() >= 1.0
+        decision = precision.decide_linbp(plan, 1e-3)
+        assert not decision.certified
+        assert math.isinf(decision.error_bound)
+        assert precision.linbp_float32_bound(plan) == math.inf
+
+    def test_certified_run_honours_its_own_bound(self):
+        """The empirical float32 deviation must sit inside the certificate."""
+        graph, coupling, explicit_list = _workload()
+        results, decision = run_batch_auto(graph, coupling, explicit_list,
+                                           tolerance=1e-3)
+        assert decision.certified
+        exact = run_batch(get_plan(graph, coupling), explicit_list,
+                          tolerance=1e-13)
+        worst = max(float(np.abs(a.beliefs.astype(np.float64)
+                                 - b.beliefs).max())
+                    for a, b in zip(results, exact))
+        assert worst <= decision.error_bound, (
+            f"float32 deviated {worst:.3e} from the exact fixed point; "
+            f"certificate promised {decision.error_bound:.3e}")
+
+    def test_matched_iterations_rounding_within_pure_rounding_bound(self):
+        """With identical sweep counts the only error source is rounding."""
+        graph, coupling, explicit_list = _workload()
+        plan64 = get_plan(graph, coupling)
+        plan32 = get_plan(graph, coupling, dtype=np.float32)
+        sweeps = 20
+        exact = run_batch(plan64, explicit_list, num_iterations=sweeps)
+        narrow = run_batch(plan32, explicit_list, num_iterations=sweeps)
+        bound = precision.linbp_float32_bound(
+            plan64, scale=precision.explicit_scale(explicit_list))
+        worst = max(float(np.abs(a.beliefs
+                                 - b.beliefs.astype(np.float64)).max())
+                    for a, b in zip(exact, narrow))
+        assert worst <= bound
+
+
+class TestRunBatchAuto:
+    def test_certified_batch_runs_float32_with_decision_extras(self):
+        graph, coupling, explicit_list = _workload()
+        results, decision = run_batch_auto(graph, coupling, explicit_list,
+                                           tolerance=1e-3)
+        assert decision.certified
+        for result in results:
+            assert result.beliefs.dtype == np.float32
+            payload = result.extra["precision"]
+            assert payload["dtype"] == "float32"
+            assert payload["certified"] is True
+            assert payload["error_bound"] == decision.error_bound
+
+    def test_refused_batch_refines_in_float64_to_the_same_answer(self):
+        graph, coupling, explicit_list = _workload()
+        results, decision = run_batch_auto(graph, coupling, explicit_list,
+                                           tolerance=1e-10)
+        assert not decision.certified
+        assert "presolve seeded" in decision.reason
+        strict = run_batch(get_plan(graph, coupling), explicit_list,
+                           tolerance=1e-10)
+        for refined, exact in zip(results, strict):
+            assert refined.beliefs.dtype == np.float64
+            assert np.abs(refined.beliefs - exact.beliefs).max() < 1e-9
+            # The presolve pays for itself: fewer float64 sweeps than a
+            # cold-start exact run.
+            assert refined.iterations <= exact.iterations
+
+    def test_fixed_sweep_count_skips_the_presolve(self):
+        graph, coupling, explicit_list = _workload()
+        results, decision = run_batch_auto(graph, coupling, explicit_list,
+                                           tolerance=1e-10, num_iterations=7)
+        assert "presolve" not in decision.reason
+        exact = run_batch(get_plan(graph, coupling), explicit_list,
+                          num_iterations=7)
+        for a, b in zip(results, exact):
+            assert np.array_equal(a.beliefs, b.beliefs)
+
+    def test_empty_batch_returns_empty_results(self):
+        graph, coupling, _ = _workload()
+        results, decision = run_batch_auto(graph, coupling, [])
+        assert results == []
+        assert decision.mode == "auto"
+
+    def test_non_positive_tolerance_rejected(self):
+        graph, coupling, explicit_list = _workload()
+        with pytest.raises(ValidationError):
+            run_batch_auto(graph, coupling, explicit_list, tolerance=0.0)
+
+
+class TestSBP:
+    def _sbp_workload(self):
+        graph = random_graph(40, 0.12, seed=7)
+        coupling = synthetic_residual_matrix(epsilon=0.05)
+        beliefs = BeliefMatrix.from_labels(
+            {0: 0, 7: 1, 19: 2}, num_nodes=graph.num_nodes, num_classes=3,
+            magnitude=0.1)
+        return graph, coupling, [beliefs.residuals]
+
+    def test_certified_sweep_honours_the_single_pass_budget(self):
+        graph, coupling, explicit_list = self._sbp_workload()
+        decision = precision.decide_sbp(graph, coupling, explicit_list, 1e-3)
+        assert decision.certified
+        exact = run_sbp_batch(graph, coupling, explicit_list)
+        narrow = run_sbp_batch(graph, coupling, explicit_list,
+                               dtype=np.float32)
+        worst = max(float(np.abs(a.beliefs
+                                 - b.beliefs.astype(np.float64)).max())
+                    for a, b in zip(exact, narrow))
+        assert worst <= decision.error_bound
+
+    def test_auto_attaches_decision_and_picks_float32(self):
+        graph, coupling, explicit_list = self._sbp_workload()
+        results, decision = run_sbp_batch_auto(graph, coupling, explicit_list,
+                                               tolerance=1e-3)
+        assert decision.certified
+        for result in results:
+            assert result.beliefs.dtype == np.float32
+            assert result.extra["precision"]["certified"] is True
+
+    def test_default_tolerance_falls_back_to_float64(self):
+        graph, coupling, explicit_list = self._sbp_workload()
+        results, decision = run_sbp_batch_auto(graph, coupling, explicit_list)
+        assert not decision.certified
+        assert results[0].beliefs.dtype == np.float64
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected_listing_choices(self):
+        with pytest.raises(ValidationError) as excinfo:
+            precision.validate_precision("fast")
+        assert "strict" in str(excinfo.value)
+        assert "auto" in str(excinfo.value)
+
+    def test_strict_decision_never_certifies(self):
+        decision = precision.strict_decision(np.float32, 1e-10)
+        assert decision.mode == "strict"
+        assert decision.dtype == "float32"
+        assert not decision.certified
+        payload = decision.as_extra()
+        assert payload["mode"] == "strict" and payload["dtype"] == "float32"

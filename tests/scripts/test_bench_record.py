@@ -77,17 +77,43 @@ class TestSuites:
         assert completed.returncode != 0
         assert "BENCH_shard.json" in completed.stderr
 
-    def test_unknown_suite_rejected(self):
+    def test_unknown_suite_rejected_listing_choices(self):
         completed = _run("--compare", "--suite", "turbo")
         assert completed.returncode != 0
-        assert "invalid choice" in completed.stderr
+        assert "unknown benchmark suite 'turbo'" in completed.stderr
+        # The error must hand the operator the fix: every valid name.
+        for name in ("engine", "shard", "sql", "precision", "all"):
+            assert name in completed.stderr
+
+    def test_precision_suite_defaults_to_precision_baseline(self, tmp_path):
+        completed = _run("--compare", "--suite", "precision", "--baseline",
+                         str(tmp_path / "BENCH_precision.json"))
+        assert completed.returncode != 0
+        assert "BENCH_precision.json" in completed.stderr
+
+    def test_suite_all_rejects_baseline_and_target_overrides(self):
+        completed = _run("--compare", "--suite", "all",
+                         "--baseline", "BENCH_custom.json")
+        assert completed.returncode != 0
+        assert "each suite's own baseline" in completed.stderr
+
+    def test_suite_all_expands_to_every_suite(self):
+        sys.path.insert(0, str(SCRIPT.parent))
+        try:
+            import bench_record
+            assert bench_record.resolve_suites("all") == \
+                sorted(bench_record.SUITES)
+            assert bench_record.resolve_suites("precision") == ["precision"]
+        finally:
+            sys.path.remove(str(SCRIPT.parent))
 
     def test_repo_baselines_are_valid(self):
         # The committed baselines must always pass validation.
         sys.path.insert(0, str(SCRIPT.parent))
         try:
             import bench_record
-            for name in ("BENCH_sbp.json", "BENCH_shard.json"):
+            for name in ("BENCH_sbp.json", "BENCH_shard.json",
+                         "BENCH_precision.json"):
                 baseline = bench_record.load_baseline(REPO_ROOT / name)
                 assert baseline["kernels"]
         finally:

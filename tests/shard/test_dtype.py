@@ -1,0 +1,133 @@
+"""Dtype support in the shard subsystem: typed blocks, plans, pool buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coupling import synthetic_residual_matrix
+from repro.engine import clear_plan_cache, get_plan, run_batch
+from repro.exceptions import UnknownBackendError
+from repro.graphs import random_graph
+from repro.shard import (
+    ShardWorkerPool,
+    get_sharded_plan,
+    partition_graph,
+    run_sharded_batch,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = random_graph(120, 0.06, seed=8)
+    coupling = synthetic_residual_matrix(epsilon=0.04)
+    rng = np.random.default_rng(1)
+    explicits = []
+    for _ in range(3):
+        explicit = np.zeros((120, 3))
+        labeled = rng.choice(120, 10, replace=False)
+        values = rng.uniform(-0.1, 0.1, (10, 2))
+        explicit[labeled, 0] = values[:, 0]
+        explicit[labeled, 1] = values[:, 1]
+        explicit[labeled, 2] = -values.sum(axis=1)
+        explicits.append(explicit)
+    return graph, coupling, explicits
+
+
+class TestShardBlockAstype:
+    def test_astype_is_identity_on_matching_dtype(self, workload):
+        graph, _, _ = workload
+        partition = partition_graph(graph, 3)
+        block = partition.blocks[0]
+        assert block.astype(np.float64) is block
+
+    def test_astype_shares_index_arrays(self, workload):
+        graph, _, _ = workload
+        partition = partition_graph(graph, 3)
+        block = partition.blocks[0]
+        narrow = block.astype(np.float32)
+        assert narrow.adjacency.dtype == np.float32
+        # Only the values are re-typed; the CSR structure is shared.
+        assert np.shares_memory(narrow.adjacency.indptr,
+                                block.adjacency.indptr)
+        assert np.shares_memory(narrow.adjacency.indices,
+                                block.adjacency.indices)
+        assert narrow.degrees.dtype == np.float32
+        assert np.allclose(narrow.adjacency.toarray(),
+                           block.adjacency.toarray(), atol=1e-6)
+
+
+class TestShardedPlanDtype:
+    def test_plans_cached_per_dtype(self, workload):
+        graph, coupling, _ = workload
+        partition = partition_graph(graph, 3)
+        plan64 = get_sharded_plan(partition, coupling)
+        plan32 = get_sharded_plan(partition, coupling, dtype=np.float32)
+        assert plan64 is get_sharded_plan(partition, coupling,
+                                          dtype="float64")
+        assert plan32 is not plan64
+        assert plan32.dtype == np.float32
+
+    def test_unsupported_dtype_rejected(self, workload):
+        graph, coupling, _ = workload
+        partition = partition_graph(graph, 3)
+        with pytest.raises(UnknownBackendError):
+            get_sharded_plan(partition, coupling, dtype=np.int32)
+
+    def test_sequential_float32_matches_batch_float32(self, workload):
+        graph, coupling, explicits = workload
+        partition = partition_graph(graph, 3)
+        plan = get_sharded_plan(partition, coupling, dtype=np.float32)
+        sharded = run_sharded_batch(plan, explicits)
+        reference = run_batch(get_plan(graph, coupling, dtype=np.float32),
+                              explicits)
+        for shard_result, batch_result in zip(sharded, reference):
+            assert shard_result.beliefs.dtype == np.float32
+            assert shard_result.extra["dtype"] == "float32"
+            assert np.abs(shard_result.beliefs.astype(np.float64)
+                          - batch_result.beliefs.astype(np.float64)
+                          ).max() < 1e-5
+
+
+class TestPoolDtype:
+    def test_pool_matches_sequential_executor_in_both_dtypes(self, workload):
+        graph, coupling, explicits = workload
+        partition = partition_graph(graph, 3)
+        with ShardWorkerPool(partition) as pool:
+            for dtype in (np.float64, np.float32):
+                plan = get_sharded_plan(partition, coupling, dtype=dtype)
+                pooled = run_sharded_batch(plan, explicits, executor=pool)
+                local = run_sharded_batch(plan, explicits)
+                for a, b in zip(pooled, local):
+                    assert a.beliefs.dtype == dtype
+                    # Same kernels over the same shared-memory layout:
+                    # the pool must be bit-identical to in-process.
+                    assert np.array_equal(a.beliefs, b.beliefs)
+                    assert a.iterations == b.iterations
+
+    def test_pool_switches_dtype_across_batches(self, workload):
+        """One pool serves float64 and float32 plans back-to-back."""
+        graph, coupling, explicits = workload
+        partition = partition_graph(graph, 3)
+        plan64 = get_sharded_plan(partition, coupling)
+        plan32 = get_sharded_plan(partition, coupling, dtype=np.float32)
+        with ShardWorkerPool(partition) as pool:
+            first = run_sharded_batch(plan64, explicits, executor=pool)
+            narrow = run_sharded_batch(plan32, explicits, executor=pool)
+            second = run_sharded_batch(plan64, explicits, executor=pool)
+        assert first[0].beliefs.dtype == np.float64
+        assert narrow[0].beliefs.dtype == np.float32
+        # Returning to float64 after a float32 interlude reproduces the
+        # original run exactly - no residue from the narrower views.
+        for a, b in zip(first, second):
+            assert np.array_equal(a.beliefs, b.beliefs)
+        for a, b in zip(first, narrow):
+            assert np.abs(a.beliefs
+                          - b.beliefs.astype(np.float64)).max() < 1e-5
