@@ -38,7 +38,7 @@ from repro.coupling import synthetic_residual_matrix
 from repro.engine import clear_plan_cache
 from repro.experiments.runner import ResultTable
 from repro.graphs import random_graph
-from repro.service import PropagationService, ServiceHarness
+from repro.service import PropagationService, QuerySpec, ServiceHarness
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
@@ -60,9 +60,9 @@ def _requests(graph, coupling) -> List[Dict]:
         values = rng.uniform(-0.1, 0.1, size=2)
         base[node] = [values[0], values[1], -values.sum()]
     scales = rng.uniform(0.5, 1.5, NUM_CLIENTS * QUERIES_PER_CLIENT)
+    spec = QuerySpec(num_iterations=NUM_ITERATIONS)
     return [dict(graph_name="g", coupling=coupling,
-                 explicit_residuals=base * scale,
-                 num_iterations=NUM_ITERATIONS)
+                 explicit_residuals=base * scale, spec=spec)
             for scale in scales]
 
 

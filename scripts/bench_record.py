@@ -84,6 +84,10 @@ SUITES = {
         "targets": ["benchmarks/test_bench_precision.py"],
         "baseline": "BENCH_precision.json",
     },
+    "stream": {
+        "targets": ["benchmarks/test_bench_stream.py"],
+        "baseline": "BENCH_stream.json",
+    },
 }
 #: Pseudo-suite: run every suite above in sequence.
 ALL_SUITES = "all"
@@ -301,7 +305,8 @@ def main(argv: List[str] | None = None) -> int:
                         help="benchmark suite: default targets and baseline "
                              "file ('engine' -> BENCH_sbp.json, 'shard' -> "
                              "BENCH_shard.json, 'sql' -> BENCH_sql.json, "
-                             "'precision' -> BENCH_precision.json), or "
+                             "'precision' -> BENCH_precision.json, "
+                             "'stream' -> BENCH_stream.json), or "
                              "'all' to run every suite in sequence "
                              f"(valid: {', '.join(sorted(SUITES))}, all)")
     parser.add_argument("--baseline", default=None,

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Doc health checks: run the README quickstart and verify intra-repo links.
+"""Doc health checks: quickstart, intra-repo links, public-API coverage.
 
-Two checks, both also enforced by the test suite (``tests/test_docs.py``):
+Three checks, all also enforced by the test suite (``tests/test_docs.py``):
 
 1. **Quickstart doctest** — every fenced ````python`` block in ``README.md``
    is executed, in order, in one shared namespace (later blocks may build on
@@ -11,6 +11,9 @@ Two checks, both also enforced by the test suite (``tests/test_docs.py``):
    ``docs/*.md`` must point at an existing file or directory inside the
    repository (anchors are stripped; ``http(s)``/``mailto`` links are
    ignored).
+3. **Public-API coverage** — every name exported by
+   ``repro.service.__all__`` must appear in ``docs/api.md``, so the
+   reference can never silently fall behind the package's public surface.
 
 Run with::
 
@@ -86,6 +89,21 @@ def broken_links(root: Path) -> List[Tuple[Path, str]]:
     return broken
 
 
+def undocumented_service_api(root: Path) -> List[str]:
+    """Names in ``repro.service.__all__`` that ``docs/api.md`` never mentions."""
+    api_doc = root / "docs" / "api.md"
+    if not api_doc.exists():
+        return ["docs/api.md is missing"]
+    source = str(root / "src")
+    if source not in sys.path:
+        sys.path.insert(0, source)
+    import repro.service as service_module
+
+    text = api_doc.read_text(encoding="utf-8")
+    return [f"repro.service.{name} is not documented in docs/api.md"
+            for name in service_module.__all__ if name not in text]
+
+
 def main(argv: List[str] | None = None) -> int:
     arguments = list(sys.argv[1:]) if argv is None else list(argv)
     root = Path(arguments[0]).resolve() if arguments else repo_root()
@@ -104,6 +122,14 @@ def main(argv: List[str] | None = None) -> int:
             print(f"FAIL broken link in {markdown_path}: ({target})")
     else:
         print("ok   all intra-repo doc links resolve")
+    missing = undocumented_service_api(root)
+    if missing:
+        failures += len(missing)
+        for message in missing:
+            print(f"FAIL {message}")
+    else:
+        print("ok   every repro.service public name is documented in "
+              "docs/api.md")
     return 1 if failures else 0
 
 

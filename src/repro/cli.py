@@ -338,7 +338,31 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         result_cache_size=args.result_cache_size,
         result_ttl_seconds=args.result_ttl if args.result_ttl > 0 else None,
+        snapshot_history=args.snapshot_history,
     )
+    if getattr(args, "use_async", False):
+        import asyncio
+
+        from repro.service import serve_async
+
+        if args.port is None:
+            print("error: --async needs --port (stdin mode is synchronous)",
+                  file=sys.stderr)
+            return 2
+
+        def ready(address):
+            print(f"repro serve: async, listening on "
+                  f"{address[0]}:{address[1]}", file=sys.stderr)
+
+        try:
+            asyncio.run(serve_async(
+                session, host=args.host, port=args.port,
+                max_pending=args.max_pending,
+                max_inflight=args.max_inflight,
+                workers=args.async_workers, ready=ready))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        return 0
     if args.port is None:
         print("repro serve: reading JSON requests from stdin "
               "(one per line; {\"op\": \"shutdown\"} to stop)",
@@ -481,6 +505,23 @@ def build_parser() -> argparse.ArgumentParser:
                        default=256,
                        help="result cache LRU capacity (0 disables result "
                             "caching; default: 256)")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve with the asyncio front end (admission "
+                            "control + per-connection backpressure); "
+                            "requires --port")
+    serve.add_argument("--max-pending", type=_non_negative_int, default=64,
+                       help="async: reject requests above this in-flight "
+                            "count with an 'overloaded' error (default: 64)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=8,
+                       help="async: per-connection cap on unanswered "
+                            "requests before reads pause (default: 8)")
+    serve.add_argument("--async-workers", type=_positive_int, default=16,
+                       help="async: worker threads executing requests "
+                            "(default: 16)")
+    serve.add_argument("--snapshot-history", type=_non_negative_int,
+                       default=4,
+                       help="stale snapshot versions kept per graph for "
+                            "bounded-staleness queries (default: 4)")
     serve.set_defaults(handler=_command_serve)
     return parser
 

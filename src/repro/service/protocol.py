@@ -1,12 +1,29 @@
-"""Line protocol of ``repro serve``: JSON requests, plain-text responses.
+"""Line protocol of ``repro serve``: JSON requests, versioned responses.
 
 One request per line, encoded as a JSON object with an ``"op"`` field;
-one response per line, plain text, starting with ``ok`` or ``error`` —
-the same pipe-friendly convention as the rest of the CLI.  The protocol
-is transport-agnostic: the stdin loop and the TCP server in
-:mod:`repro.service.server` both feed lines through one shared
-:class:`ServiceSession` (so graphs loaded by one TCP client are visible
-to every other client, which is what makes cross-client coalescing
+one response per line.  The response *shape* is versioned by the request:
+
+* **v0** (no ``"v"`` field) — plain text starting with ``ok`` or
+  ``error``, byte-compatible with every release before the protocol was
+  versioned.  Numeric payloads (belief rows) are truncated to ``%.6g``
+  for human eyes.
+* **v1** (``"v": 1`` in the request) — one JSON object per line:
+  ``{"ok": true, "v": 1, "op": ..., ...}`` on success,
+  ``{"ok": false, "v": 1, "error": {"code": ..., "message": ...}}`` on
+  failure.  Error codes are a stable machine-readable taxonomy mapped
+  from the :class:`~repro.exceptions.ReproError` hierarchy (see
+  :func:`error_code`); belief values round-trip exact float64 (no
+  ``%.6g`` truncation), so ``limit: 0, "return_beliefs": true`` is a
+  lossless export.
+
+A request that cannot be parsed at all (malformed JSON) is answered in
+v0 text — its version field is unreadable by definition.
+
+The protocol is transport-agnostic: the stdin loop, the threaded TCP
+server (:mod:`repro.service.server`) and the asyncio front end
+(:mod:`repro.service.aserve`) all feed lines through one shared
+:class:`ServiceSession` (so graphs loaded by one client are visible to
+every other client, which is what makes cross-client coalescing
 possible).
 
 Operations::
@@ -15,7 +32,7 @@ Operations::
     {"op": "load_coupling", "name": "h", "stochastic": [[0.8, 0.2], [0.2, 0.8]],
      "epsilon": 0.3}
     {"op": "query", "graph": "g", "coupling": "h", "method": "linbp",
-     "beliefs": [[0, 0, 0.1], [2, 1, 0.1]]}
+     "beliefs": [[0, 0, 0.1], [2, 1, 0.1]], "staleness": 1, "v": 1}
     {"op": "view", "graph": "g", "name": "fraud", "coupling": "h",
      "method": "sbp", "beliefs": [[0, 0, 0.1]]}
     {"op": "read_view", "graph": "g", "name": "fraud"}
@@ -27,28 +44,81 @@ Operations::
 
 Belief lists use the relational ``E(v, c, b)`` row layout of Section 5.3:
 ``[node, class, value]`` triples.  Query responses report the top label
-per labeled node (``labels=node:class,...``, truncated at ``"limit"``,
-default 10; ``0`` means all); pass ``"return_beliefs": true`` for the raw
-residual belief rows instead.
+per labeled node (truncated at ``"limit"``, default 10; ``0`` means
+all); pass ``"return_beliefs": true`` for the raw residual belief rows
+instead.  Query requests accept every :class:`~repro.service.spec
+.QuerySpec` field (``method``, ``max_iterations``, ``tolerance``,
+``num_iterations``, ``dtype``, ``precision``) plus ``"staleness"``, the
+:meth:`~repro.service.service.PropagationService.query` staleness bound.
 """
 
 from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.coupling.matrices import CouplingMatrix
-from repro.exceptions import ReproError, ValidationError
+from repro.exceptions import (
+    BackendError,
+    BackendStateError,
+    BackendUnavailableError,
+    ConvergenceError,
+    DatasetError,
+    NotConvergentParametersError,
+    RelationalError,
+    ReproError,
+    SchemaError,
+    UnknownBackendError,
+    ValidationError,
+)
 from repro.graphs.graph import Graph
 from repro.service.service import PropagationService
+from repro.service.spec import QuerySpec
 
-__all__ = ["ServiceSession"]
+__all__ = ["ServiceSession", "error_code", "ERROR_CODES"]
 
 #: Default number of per-node entries echoed by query/read_view responses.
 DEFAULT_LIMIT = 10
+
+#: The machine-readable error taxonomy of v1 responses: exception class →
+#: code, most specific first (the first isinstance match wins).  Codes are
+#: wire-stable: clients switch on them, so renaming one is a breaking
+#: protocol change.
+ERROR_CODES: Tuple[Tuple[type, str], ...] = (
+    (NotConvergentParametersError, "not-convergent"),
+    (ConvergenceError, "convergence"),
+    (ValidationError, "validation"),
+    (UnknownBackendError, "unknown-backend"),
+    (BackendUnavailableError, "backend-unavailable"),
+    (BackendStateError, "backend-state"),
+    (BackendError, "backend"),
+    (SchemaError, "schema"),
+    (RelationalError, "relational"),
+    (DatasetError, "dataset"),
+    (ReproError, "repro"),
+)
+
+#: Protocol-level codes (not mapped from exceptions): ``bad-json``,
+#: ``bad-request``, ``bad-version``, ``unknown-op``, ``missing-field``,
+#: ``overloaded``, ``internal``.
+
+
+def error_code(exception: BaseException) -> str:
+    """The v1 wire code for an exception, from the ReproError taxonomy.
+
+    Unlisted builtin value errors (``TypeError``, ``ValueError``,
+    ``OverflowError`` — malformed request payloads) map to
+    ``bad-value``; anything else is ``internal``.
+    """
+    for exc_type, code in ERROR_CODES:
+        if isinstance(exception, exc_type):
+            return code
+    if isinstance(exception, (TypeError, OverflowError, ValueError)):
+        return "bad-value"
+    return "internal"
 
 
 def _truncate(entries: list, limit: int) -> str:
@@ -77,6 +147,25 @@ def _format_beliefs(result, limit: int) -> str:
     return ";".join(rows)
 
 
+def _label_rows(result, coupling: CouplingMatrix) -> List[list]:
+    """v1 label payload: ``[node, class_name]`` per labeled node."""
+    labels = result.hard_labels()
+    return [[int(node), coupling.name_of(int(labels[node]))]
+            for node in range(labels.shape[0]) if labels[node] >= 0]
+
+
+def _belief_rows(result) -> List[list]:
+    """v1 belief payload: ``[node, [values...]]`` per non-zero row.
+
+    Values pass through Python ``float`` (exact for float64, the exact
+    widened value for float32), so ``json.dumps`` emits ``repr``-style
+    shortest-round-trip literals — ``json.loads`` recovers bit-identical
+    float64s, unlike the v0 text's ``%.6g``.
+    """
+    return [[int(node), [float(value) for value in row]]
+            for node, row in enumerate(result.beliefs) if np.any(row != 0.0)]
+
+
 def _belief_matrix(triples, num_nodes: int, num_classes: int) -> np.ndarray:
     matrix = np.zeros((num_nodes, num_classes))
     for triple in triples:
@@ -93,13 +182,78 @@ def _belief_matrix(triples, num_nodes: int, num_classes: int) -> np.ndarray:
     return matrix
 
 
+def _json_safe(value):
+    """Recursively coerce a stats payload into JSON-serialisable types."""
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _format_v0(value) -> str:
+    """One ``key=value`` payload in the legacy plain-text rendering."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    return str(value)
+
+
+class _Reply:
+    """One successful response, rendered per protocol version.
+
+    ``fields`` are ``(key, value)`` pairs shared by both renderings (v0
+    as ``key=value`` tokens, v1 as JSON object members, in order);
+    ``text_extra`` appends v0-only tokens (pre-formatted strings like
+    the truncated label list), ``json_extra`` adds v1-only members (the
+    structured equivalent).  ``text`` overrides the whole v0 line for
+    the fieldless legacy responses (``ok pong``, ``ok bye``).
+    """
+
+    def __init__(self, kind: str, fields: Sequence[Tuple[str, object]] = (),
+                 text_extra: Sequence[Tuple[str, str]] = (),
+                 json_extra: Optional[dict] = None,
+                 text: Optional[str] = None, keep_running: bool = True):
+        self.kind = kind
+        self.fields = list(fields)
+        self.text_extra = list(text_extra)
+        self.json_extra = dict(json_extra or {})
+        self.text = text
+        self.keep_running = keep_running
+
+    def render(self, version: int) -> str:
+        if version == 0:
+            if self.text is not None:
+                return self.text
+            tokens = [f"{key}={_format_v0(value)}"
+                      for key, value in [*self.fields, *self.text_extra]]
+            payload = (" " + " ".join(tokens)) if tokens else ""
+            return f"ok {self.kind}{payload}"
+        body = {"ok": True, "v": 1, "op": self.kind}
+        body.update(self.fields)
+        body.update(self.json_extra)
+        return json.dumps(body, separators=(",", ":"))
+
+
+def _render_error(version: int, code: str, message: str) -> str:
+    if version == 0:
+        return f"error {message}"
+    return json.dumps({"ok": False, "v": 1,
+                       "error": {"code": code, "message": message}},
+                      separators=(",", ":"))
+
+
 class ServiceSession:
     """Protocol state shared by every connection of one ``repro serve``.
 
     Holds the :class:`PropagationService` plus the named coupling
     registry (couplings are value objects, not graph state, so they live
     at the protocol layer).  All methods are thread-safe; the TCP server
-    calls :meth:`handle_line` from one thread per connection.
+    calls :meth:`handle_line` from one thread per connection, the asyncio
+    front end from a worker-thread pool.
     """
 
     def __init__(self, service: Optional[PropagationService] = None,
@@ -126,43 +280,73 @@ class ServiceSession:
         """Process one request line; return ``(response, keep_running)``."""
         line = line.strip()
         if not line:
-            return "error empty request", True
+            return _render_error(0, "bad-request", "empty request"), True
         try:
             request = json.loads(line)
         except json.JSONDecodeError as error:
-            return f"error invalid JSON: {error.msg}", True
+            return _render_error(0, "bad-json",
+                                 f"invalid JSON: {error.msg}"), True
+        version = request.get("v", 0) if isinstance(request, dict) else 0
+        if version not in (0, 1):
+            return _render_error(0, "bad-version",
+                                 f"unsupported protocol version "
+                                 f"{version!r} (supported: 0, 1)"), True
         if not isinstance(request, dict) or "op" not in request:
-            return "error request must be a JSON object with an 'op' field", \
-                True
+            return _render_error(
+                version, "bad-request",
+                "request must be a JSON object with an 'op' field"), True
         op = str(request["op"])
         handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
         if handler is None:
-            return f"error unknown op {op!r}", True
+            return _render_error(version, "unknown-op",
+                                 f"unknown op {op!r}"), True
         try:
-            return handler(request)
+            reply = handler(request)
         except KeyError as error:
-            return f"error missing field {error.args[0]!r}", True
+            return _render_error(version, "missing-field",
+                                 f"missing field {error.args[0]!r}"), True
         except (ReproError, TypeError, OverflowError, ValueError) as error:
-            return f"error {error}", True
+            return _render_error(version, error_code(error), str(error)), True
         except Exception as error:
             # One response per request, whatever happens: a handler bug must
             # not kill the connection thread (TCP) or the serve loop (stdin)
             # without a reply line.
-            return f"error internal: {type(error).__name__}: {error}", True
+            return _render_error(
+                version, "internal",
+                f"internal: {type(error).__name__}: {error}"), True
+        return reply.render(version), reply.keep_running
+
+    def overload_response(self, line: str, detail: str) -> str:
+        """A 503-style rejection for a request the server will not run.
+
+        Used by the asyncio front end's admission control: the request
+        is parsed only far enough to answer in its own protocol version
+        (v0 text for v0/unparseable requests, v1 JSON with code
+        ``overloaded`` otherwise) — no handler executes.
+        """
+        version = 0
+        try:
+            request = json.loads(line)
+            if isinstance(request, dict) and request.get("v") == 1:
+                version = 1
+        except (json.JSONDecodeError, TypeError):
+            pass
+        return _render_error(version, "overloaded", detail)
 
     # ------------------------------------------------------------------ #
     # operations
     # ------------------------------------------------------------------ #
-    def _op_load_graph(self, request: dict) -> Tuple[str, bool]:
+    def _op_load_graph(self, request: dict) -> _Reply:
         name = str(request["name"])
         graph = Graph.from_edges(
             [tuple(edge) for edge in request["edges"]],
             num_nodes=request.get("num_nodes"))
         snapshot = self.service.register_graph(name, graph)
-        return (f"ok graph name={name} nodes={graph.num_nodes} "
-                f"edges={graph.num_edges} version={snapshot.version}"), True
+        return _Reply("graph", fields=[
+            ("name", name), ("nodes", graph.num_nodes),
+            ("edges", graph.num_edges), ("version", snapshot.version)])
 
-    def _op_load_coupling(self, request: dict) -> Tuple[str, bool]:
+    def _op_load_coupling(self, request: dict) -> _Reply:
         name = str(request["name"])
         epsilon = float(request.get("epsilon", 1.0))
         class_names = request.get("classes")
@@ -179,26 +363,23 @@ class ServiceSession:
                 "load_coupling needs a 'residual' or 'stochastic' matrix")
         with self._lock:
             self._couplings[name] = coupling
-        return f"ok coupling name={name} classes={coupling.num_classes}", True
+        return _Reply("coupling", fields=[
+            ("name", name), ("classes", coupling.num_classes)])
 
-    def _op_query(self, request: dict) -> Tuple[str, bool]:
+    def _op_query(self, request: dict) -> _Reply:
         graph_name = str(request["graph"])
         coupling = self.coupling(str(request["coupling"]))
         snapshot = self.service.snapshot(graph_name)
         explicit = _belief_matrix(request["beliefs"],
                                   snapshot.graph.num_nodes,
                                   coupling.num_classes)
-        num_iterations = request.get("num_iterations")
+        spec = QuerySpec.from_request(request)
         result = self.service.query(
-            graph_name, coupling, explicit,
-            method=str(request.get("method", "linbp")),
-            max_iterations=int(request.get("max_iterations", 100)),
-            tolerance=float(request.get("tolerance", 1e-10)),
-            num_iterations=None if num_iterations is None
-            else int(num_iterations))
-        return self._format_result("query", result, coupling, request), True
+            graph_name, coupling, explicit, spec,
+            max_staleness=int(request.get("staleness", 0)))
+        return self._result_reply("query", result, coupling, request)
 
-    def _op_view(self, request: dict) -> Tuple[str, bool]:
+    def _op_view(self, request: dict) -> _Reply:
         graph_name = str(request["graph"])
         view_name = str(request["name"])
         coupling = self.coupling(str(request["coupling"]))
@@ -209,18 +390,26 @@ class ServiceSession:
         result = self.service.create_view(
             graph_name, view_name, coupling, explicit,
             method=str(request.get("method", "sbp")))
-        return (f"ok view graph={graph_name} name={view_name} "
-                f"method={result.method} iterations={result.iterations}"), True
+        return _Reply("view", fields=[
+            ("graph", graph_name), ("name", view_name),
+            ("method", result.method),
+            ("iterations", int(result.iterations))])
 
-    def _op_read_view(self, request: dict) -> Tuple[str, bool]:
+    def _op_read_view(self, request: dict) -> _Reply:
         graph_name = str(request["graph"])
         view_name = str(request["name"])
         result = self.service.view_result(graph_name, view_name)
         limit = int(request.get("limit", DEFAULT_LIMIT))
-        return (f"ok read_view graph={graph_name} name={view_name} "
-                f"beliefs={_format_beliefs(result, limit)}"), True
+        rows = _belief_rows(result)
+        truncated = bool(limit) and len(rows) > limit
+        return _Reply(
+            "read_view",
+            fields=[("graph", graph_name), ("name", view_name)],
+            text_extra=[("beliefs", _format_beliefs(result, limit))],
+            json_extra={"beliefs": rows[:limit] if truncated else rows,
+                        "truncated": truncated})
 
-    def _op_update(self, request: dict) -> Tuple[str, bool]:
+    def _op_update(self, request: dict) -> _Reply:
         graph_name = str(request["graph"])
         edges = request.get("edges")
         beliefs = request.get("beliefs")
@@ -235,8 +424,8 @@ class ServiceSession:
             new_edges = [tuple(edge) for edge in edges]
         snapshot = self.service.update(graph_name, new_beliefs=new_beliefs,
                                        new_edges=new_edges)
-        return (f"ok update graph={graph_name} "
-                f"version={snapshot.version}"), True
+        return _Reply("update", fields=[
+            ("graph", graph_name), ("version", snapshot.version)])
 
     def _update_classes(self, graph_name: str, request: dict) -> int:
         """Class count for an update's belief rows.
@@ -260,34 +449,47 @@ class ServiceSession:
                 "determine the class count")
         return classes.pop()
 
-    def _op_stats(self, request: dict) -> Tuple[str, bool]:
+    def _op_stats(self, request: dict) -> _Reply:
         stats = self.service.stats()
         coalescer = stats["coalescer"]
         cache = stats["result_cache"]
-        return (f"ok stats queries={stats['queries']} "
+        text = (f"ok stats queries={stats['queries']} "
                 f"updates={stats['updates']} "
                 f"batches={coalescer['batches']} "
                 f"coalesced_requests={coalescer['coalesced_requests']} "
                 f"largest_batch={coalescer['largest_batch']} "
                 f"cache_hits={cache['hits']} "
-                f"cache_size={cache['size']}"), True
+                f"cache_size={cache['size']}")
+        return _Reply("stats", text=text,
+                      json_extra={"stats": _json_safe(stats)})
 
-    def _op_ping(self, request: dict) -> Tuple[str, bool]:
-        return "ok pong", True
+    def _op_ping(self, request: dict) -> _Reply:
+        return _Reply("ping", text="ok pong")
 
-    def _op_shutdown(self, request: dict) -> Tuple[str, bool]:
-        return "ok bye", False
+    def _op_shutdown(self, request: dict) -> _Reply:
+        return _Reply("shutdown", text="ok bye", keep_running=False)
 
     # ------------------------------------------------------------------ #
     # formatting
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _format_result(op: str, result, coupling: CouplingMatrix,
-                       request: dict) -> str:
+    def _result_reply(op: str, result, coupling: CouplingMatrix,
+                      request: dict) -> _Reply:
         limit = int(request.get("limit", DEFAULT_LIMIT))
-        prefix = (f"ok {op} method={result.method} "
-                  f"iterations={result.iterations} "
-                  f"converged={str(result.converged).lower()}")
+        fields = [("method", result.method),
+                  ("iterations", int(result.iterations)),
+                  ("converged", bool(result.converged))]
         if request.get("return_beliefs"):
-            return f"{prefix} beliefs={_format_beliefs(result, limit)}"
-        return f"{prefix} labels={_format_labels(result, coupling, limit)}"
+            key, rows = "beliefs", _belief_rows(result)
+            text_value = _format_beliefs(result, limit)
+        else:
+            key, rows = "labels", _label_rows(result, coupling)
+            text_value = _format_labels(result, coupling, limit)
+        truncated = bool(limit) and len(rows) > limit
+        json_extra = {key: rows[:limit] if truncated else rows,
+                      "truncated": truncated}
+        snapshot_version = result.extra.get("snapshot_version")
+        if snapshot_version is not None:
+            json_extra["snapshot_version"] = int(snapshot_version)
+        return _Reply(op, fields=fields,
+                      text_extra=[(key, text_value)], json_extra=json_extra)

@@ -44,7 +44,8 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields
 from typing import (
     Callable,
     Dict,
@@ -70,18 +71,21 @@ from repro.engine import sbp_plan as engine_sbp
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Edge, Graph
 from repro.service.coalescer import MicroBatcher
+from repro.service.spec import METHODS as _METHODS
+from repro.service.spec import QuerySpec
 from repro.shard import block_engine as shard_engine
 from repro.shard import pool as shard_pool
-from repro.shard.partition import GraphPartition, partition_graph
+from repro.shard import repair as shard_repair
+from repro.shard.partition import (
+    GraphPartition,
+    PartitionStats,
+    partition_graph,
+)
 
 __all__ = ["GraphSnapshot", "ShardedSnapshot", "PropagationService"]
 
-#: Methods the service can route; values are (solver family, echo flag).
-_METHODS: Dict[str, Tuple[str, bool]] = {
-    "linbp": ("linbp", True),
-    "linbp*": ("linbp", False),
-    "sbp": ("sbp", True),
-}
+#: Legacy keyword arguments of query(), now fields of QuerySpec.
+_SPEC_FIELDS = frozenset(field.name for field in fields(QuerySpec))
 
 
 @dataclass(frozen=True)
@@ -155,6 +159,22 @@ class _GraphEntry:
         # executor use — a worker pool runs one batch at a time.
         self.executor = None
         self.executor_lock = threading.Lock()
+        # Recent snapshots, oldest first and ending in the current one.
+        # A *tuple*, replaced wholesale on every install: staleness-bounded
+        # queries read it with one attribute load, lock-free — the same
+        # discipline as ``snapshot`` itself.
+        self.history: Tuple[GraphSnapshot, ...] = (snapshot,)
+        # Incremental-repartition accounting (sharded snapshots only):
+        # cut stats at the last *full* partition, repair/re-partition
+        # counters, the current drift, and the background re-partition
+        # thread (at most one per graph).
+        self.baseline_stats: Optional[PartitionStats] = None
+        self.incremental_repairs = 0
+        self.full_repartitions = 0
+        self.cut_drift = 0.0
+        self.repartition_thread: Optional[threading.Thread] = None
+        if isinstance(snapshot, ShardedSnapshot):
+            self.baseline_stats = snapshot.partition.stats()
 
 
 class PropagationService:
@@ -185,6 +205,27 @@ class PropagationService:
         debuggable, no extra processes).  Pools are created lazily per
         graph, survive across queries, and are torn down when the graph
         is re-partitioned, unregistered, or the service is closed.
+    snapshot_history:
+        How many *past* snapshots to retain per graph (beyond the
+        current one) for staleness-bounded reads: a query carrying
+        ``max_staleness=s`` may be answered from the result cache of any
+        version within ``s`` of current (see :meth:`query`).  ``0``
+        disables stale serving.
+    incremental_repartition:
+        When ``True`` (default) an edge mutation on a sharded graph
+        *repairs* the partition — only the shards owning a delta
+        endpoint rebuild their row blocks and halo maps
+        (:func:`repro.shard.repair.repair_partition`), identical to a
+        fresh partition under the same assignment — instead of
+        re-running the BFS grower.  ``False`` restores the full
+        re-partition on every edge update.
+    repartition_drift:
+        Cut-quality drift threshold for the background re-partition:
+        when the repaired partition's cut fraction exceeds the last full
+        partition's by more than this, a daemon thread re-runs the
+        partitioner and atomically swaps the fresh partition in (same
+        graph, same version — query results are unaffected).  ``None``
+        disables the background pass entirely.
     """
 
     def __init__(self, window_seconds: float = 0.002, max_batch: int = 16,
@@ -192,13 +233,22 @@ class PropagationService:
                  result_ttl_seconds: Optional[float] = 300.0,
                  clock: Callable[[], float] = time.monotonic,
                  shards: int = 1, shard_method: str = "bfs",
-                 shard_executor: str = "pool"):
+                 shard_executor: str = "pool",
+                 snapshot_history: int = 4,
+                 incremental_repartition: bool = True,
+                 repartition_drift: Optional[float] = 0.25):
         if shards < 1:
             raise ValidationError("shards must be >= 1")
         if shard_executor not in ("pool", "sequential"):
             raise ValidationError(
                 f"unknown shard_executor {shard_executor!r}; expected "
                 f"'pool' or 'sequential'")
+        if snapshot_history < 0:
+            raise ValidationError("snapshot_history must be >= 0")
+        if repartition_drift is not None and not repartition_drift >= 0.0:
+            raise ValidationError(
+                "repartition_drift must be >= 0 (or None to disable the "
+                "background re-partition)")
         self._lock = threading.RLock()
         self._graphs: Dict[str, _GraphEntry] = {}
         self.batcher = MicroBatcher(window_seconds=window_seconds,
@@ -207,9 +257,14 @@ class PropagationService:
             result_cache_size, ttl_seconds=result_ttl_seconds, clock=clock)
         self._queries = 0
         self._updates = 0
+        self._stale_hits = 0
         self._shards = int(shards)
         self._shard_method = shard_method
         self._shard_executor = shard_executor
+        self._snapshot_history = int(snapshot_history)
+        self._incremental_repartition = bool(incremental_repartition)
+        self._repartition_drift = repartition_drift if repartition_drift \
+            is None else float(repartition_drift)
 
     # ------------------------------------------------------------------ #
     # graph registry and snapshots
@@ -244,6 +299,7 @@ class PropagationService:
         call on any service.  Registered graphs stay queryable — the
         next sharded query lazily builds a fresh executor.
         """
+        self.join_repartitions(timeout=10.0)
         with self._lock:
             entries = list(self._graphs.values())
         for entry in entries:
@@ -275,6 +331,26 @@ class PropagationService:
         """The current immutable snapshot of a registered graph."""
         return self._entry(name).snapshot
 
+    def snapshot_history(self, name: str) -> Tuple[GraphSnapshot, ...]:
+        """Retained snapshots of a graph, oldest first, current last.
+
+        At most ``snapshot_history + 1`` entries; the versions a
+        staleness-bounded query may be served from.
+        """
+        return self._entry(name).history
+
+    def _install_snapshot(self, entry: "_GraphEntry",
+                          snapshot: GraphSnapshot) -> None:
+        """Make ``snapshot`` current and append it to the history window.
+
+        Called under the entry's mutation lock.  Both attributes are
+        replaced wholesale (the history is a fresh tuple), so lock-free
+        readers always observe a consistent value.
+        """
+        entry.snapshot = snapshot
+        entry.history = \
+            (entry.history + (snapshot,))[-(self._snapshot_history + 1):]
+
     def graph_names(self) -> List[str]:
         """Names of all registered graphs (sorted)."""
         with self._lock:
@@ -290,39 +366,110 @@ class PropagationService:
     # ------------------------------------------------------------------ #
     # coalesced one-shot queries
     # ------------------------------------------------------------------ #
+    def _resolve_spec(self, spec, legacy: Dict[str, object]) -> QuerySpec:
+        """Normalise ``query()``'s spec argument, shimming legacy kwargs.
+
+        A :class:`QuerySpec` passes through; ``None`` with no legacy
+        kwargs is the default spec.  Solver keyword arguments (the
+        pre-QuerySpec API, including a bare method string in the spec
+        position) still work but emit a :class:`DeprecationWarning`.
+        """
+        if isinstance(spec, str):
+            # Old call shape: query(name, coupling, explicit, "sbp").
+            if "method" in legacy:
+                raise ValidationError(
+                    "query() got the method both positionally and as a "
+                    "keyword argument")
+            legacy = dict(legacy, method=spec)
+            spec = None
+        if legacy:
+            if spec is not None:
+                raise ValidationError(
+                    "pass a QuerySpec or legacy solver keyword arguments "
+                    "to query(), not both")
+            unknown = sorted(set(legacy) - _SPEC_FIELDS)
+            if unknown:
+                raise TypeError(
+                    f"query() got unexpected keyword argument(s) {unknown}")
+            warnings.warn(
+                "passing solver parameters to PropagationService.query() "
+                "as keyword arguments is deprecated; pass a QuerySpec "
+                "(repro.service.QuerySpec) instead",
+                DeprecationWarning, stacklevel=3)
+            return QuerySpec(**legacy)
+        if spec is None:
+            return QuerySpec()
+        if not isinstance(spec, QuerySpec):
+            raise ValidationError(
+                f"spec must be a QuerySpec, got {type(spec).__name__}")
+        return spec
+
+    def _lookup_stale(self, entry: "_GraphEntry", snapshot: GraphSnapshot,
+                      max_staleness: int, params: Tuple, coupling_id,
+                      digest) -> Optional[PropagationResult]:
+        """Probe the result cache across the admissible version window.
+
+        Newest-first over the retained history, stopping at
+        ``snapshot.version - max_staleness``.  A hit on an older version
+        is exactly the staleness contract: the caller preferred an
+        already-computed answer within its bound over waiting for a cold
+        solve against the freshest snapshot.
+        """
+        floor = snapshot.version - max_staleness
+        for old in reversed(entry.history):
+            if old.version > snapshot.version:
+                continue  # an update raced us; stay within the bound
+            if old.version < floor:
+                break
+            cached = self.results.lookup(
+                old.graph, (old.version, params, coupling_id, digest))
+            if cached is not None:
+                if old.version != snapshot.version:
+                    with self._lock:
+                        self._stale_hits += 1
+                return cached
+        return None
+
     def query(self, graph_name: str, coupling: CouplingMatrix,
-              explicit_residuals: np.ndarray, method: str = "linbp",
-              max_iterations: int = 100, tolerance: float = 1e-10,
-              num_iterations: Optional[int] = None,
-              dtype=None, precision: str = "strict") -> PropagationResult:
+              explicit_residuals: np.ndarray,
+              spec: Optional[QuerySpec] = None, *,
+              max_staleness: int = 0, **legacy) -> PropagationResult:
         """Run one propagation query, coalescing with concurrent peers.
 
         Semantically identical to calling :func:`repro.core.linbp.linbp`
         (or ``linbp_star`` / :func:`repro.core.sbp.sbp`) on the graph's
         current snapshot; concurrently submitted queries that share the
-        snapshot, coupling values and solver parameters are dispatched as
-        one stacked batch.  Results may be served from the TTL+LRU cache
-        when an identical request (same snapshot version, same explicit
-        bytes) was answered recently; cached results are shared — treat
-        them as read-only.
+        snapshot, coupling values and the spec's
+        :meth:`~repro.service.spec.QuerySpec.solver_params` are
+        dispatched as one stacked batch.  Results may be served from the
+        TTL+LRU cache when an identical request (same snapshot version,
+        same explicit bytes) was answered recently; cached results are
+        shared — treat them as read-only.
 
-        ``dtype`` and ``precision`` select the kernel element width.
-        ``precision="strict"`` (default) runs exactly the requested
-        ``dtype`` (float64 default — bit-for-bit the historical
-        numerics); ``precision="auto"`` ignores ``dtype`` and lets the
-        Lemma-8 rounding certificate choose: certified float32 when the
-        error budget fits ``tolerance``, exact float64 (with a float32
-        presolve on the unsharded path) otherwise — the decision rides
-        on each result under ``extra["precision"]``.
+        ``spec`` is the single parameter object describing the solve
+        (method, iteration budget, dtype, precision — see
+        :class:`~repro.service.spec.QuerySpec`); ``None`` means the
+        default spec.  The pre-QuerySpec keyword arguments (``method=``,
+        ``max_iterations=``, ...) are accepted as a deprecated shim that
+        emits a :class:`DeprecationWarning`.
+
+        ``max_staleness`` bounds how old an answer may be: ``s > 0``
+        lets the query be served from the cache of any retained snapshot
+        whose version is within ``s`` of current — so reads tolerant of
+        slightly-stale data keep hitting warm results while a mutation's
+        cold new version is still being computed against.  ``0``
+        (default) only ever serves the current version.
         """
-        if method not in _METHODS:
-            raise ValidationError(
-                f"unknown method {method!r}; expected one of "
-                f"{sorted(_METHODS)}")
-        family, echo = _METHODS[method]
-        precision = engine_precision.validate_precision(precision)
-        dtype = array_backend.canonical_dtype(
-            dtype if dtype is not None else array_backend.DEFAULT_DTYPE)
+        spec = self._resolve_spec(spec, legacy)
+        max_staleness = int(max_staleness)
+        if max_staleness < 0:
+            raise ValidationError("max_staleness must be >= 0")
+        family, echo = spec.family, spec.echo
+        precision = spec.precision
+        dtype = spec.numpy_dtype
+        tolerance = spec.tolerance
+        max_iterations = spec.max_iterations
+        num_iterations = spec.num_iterations
         entry = self._entry(graph_name)
         snapshot = entry.snapshot
         explicit = np.ascontiguousarray(explicit_residuals, dtype=np.float64)
@@ -333,23 +480,15 @@ class PropagationService:
                 f"got {explicit.shape}")
         with self._lock:
             self._queries += 1
-        if family == "sbp":
-            # Single-pass SBP ignores the iterative solver parameters, so
-            # they must not fragment the batch/result keys: requests that
-            # differ only in max_iterations/tolerance coalesce and share
-            # cached results.  Auto precision is the exception — its
-            # certificate depends on the tolerance, so it joins the key.
-            params: Tuple = (method, dtype.name, precision) \
-                + ((float(tolerance),) if precision == "auto" else ())
-        else:
-            params = (method, dtype.name, precision,
-                      int(max_iterations), float(tolerance),
-                      num_iterations if num_iterations is None
-                      else int(num_iterations))
+        params = spec.solver_params()
         coupling_id = engine_plan.coupling_key(coupling)
         digest = hashlib.sha1(explicit.tobytes()).digest()
         result_key = (snapshot.version, params, coupling_id, digest)
-        cached = self.results.lookup(snapshot.graph, result_key)
+        if max_staleness:
+            cached = self._lookup_stale(entry, snapshot, max_staleness,
+                                        params, coupling_id, digest)
+        else:
+            cached = self.results.lookup(snapshot.graph, result_key)
         if cached is not None:
             return cached
         if family == "sbp":
@@ -397,6 +536,7 @@ class PropagationService:
                                ) -> Sequence[PropagationResult]:
             results = dispatch(items)
             for (_, key), result in zip(items, results):
+                result.extra.setdefault("snapshot_version", snapshot.version)
                 self.results.store(snapshot.graph, key, result)
             return results
 
@@ -611,10 +751,34 @@ class PropagationService:
                                            version=old.version + 1,
                                            graph=graph,
                                            partition=old.partition)
+            elif (edges is not None and isinstance(old, ShardedSnapshot)
+                  and self._incremental_repartition):
+                # Edge delta on a sharded graph: repair only the shards
+                # owning a delta endpoint instead of re-running the
+                # partitioner — identical blocks, a fraction of the work.
+                repaired = shard_repair.repair_partition(old.partition,
+                                                         graph, edges)
+                snapshot = ShardedSnapshot(name=graph_name,
+                                           version=old.version + 1,
+                                           graph=graph,
+                                           partition=repaired.partition)
+                entry.incremental_repairs += 1
+                if entry.baseline_stats is not None:
+                    entry.cut_drift = shard_repair.cut_drift(
+                        entry.baseline_stats, repaired.partition.stats())
             else:
                 snapshot = self._build_snapshot(graph_name, old.version + 1,
                                                 graph)
-            entry.snapshot = snapshot
+                if isinstance(snapshot, ShardedSnapshot):
+                    entry.baseline_stats = snapshot.partition.stats()
+                    entry.cut_drift = 0.0
+            self._install_snapshot(entry, snapshot)
+            schedule_repartition = (
+                self._repartition_drift is not None
+                and isinstance(snapshot, ShardedSnapshot)
+                and entry.cut_drift > self._repartition_drift)
+            if schedule_repartition:
+                self._schedule_repartition(graph_name, entry, graph)
             with self._lock:
                 self._updates += 1
         if graph is not old.graph:
@@ -623,6 +787,98 @@ class PropagationService:
             # partition.  The next sharded query builds a fresh one.
             self._close_entry_executor(entry)
         return snapshot
+
+    # ------------------------------------------------------------------ #
+    # background re-partitioning
+    # ------------------------------------------------------------------ #
+    def _schedule_repartition(self, graph_name: str, entry: "_GraphEntry",
+                              graph: Graph) -> None:
+        """Kick off a background full re-partition (at most one per graph).
+
+        Called under the entry's mutation lock.  The daemon thread runs
+        the partitioner off the update path; if yet another edge update
+        lands while it runs, the swap is abandoned (the newer update's
+        own drift check will schedule a fresh pass).
+        """
+        thread = entry.repartition_thread
+        if thread is not None and thread.is_alive():
+            return
+        thread = threading.Thread(
+            target=self._background_repartition,
+            args=(graph_name, entry, graph),
+            name=f"repartition-{graph_name}", daemon=True)
+        entry.repartition_thread = thread
+        thread.start()
+
+    def _background_repartition(self, graph_name: str, entry: "_GraphEntry",
+                                graph: Graph) -> None:
+        try:
+            partition = partition_graph(graph, self._shards,
+                                        method=self._shard_method)
+        except Exception:
+            return  # a failed background pass must never hurt the service
+        self._swap_partition(graph_name, entry, graph, partition)
+
+    def _swap_partition(self, graph_name: str, entry: "_GraphEntry",
+                        graph: Graph, partition: GraphPartition) -> bool:
+        """Install a freshly grown partition for an unchanged graph.
+
+        Same graph object, same version — only the shard layout changes,
+        so cached results and in-flight queries are untouched.  Returns
+        ``False`` (a no-op) when a newer update superseded ``graph``
+        while the partitioner ran.
+        """
+        with entry.lock:
+            current = entry.snapshot
+            if current.graph is not graph \
+                    or not isinstance(current, ShardedSnapshot):
+                return False
+            snapshot = ShardedSnapshot(name=graph_name,
+                                       version=current.version,
+                                       graph=graph, partition=partition)
+            entry.snapshot = snapshot
+            if entry.history and entry.history[-1] is current:
+                entry.history = entry.history[:-1] + (snapshot,)
+            entry.baseline_stats = partition.stats()
+            entry.full_repartitions += 1
+            entry.cut_drift = 0.0
+        # The old executor was built for the replaced partition.
+        self._close_entry_executor(entry)
+        return True
+
+    def repartition_now(self, graph_name: str) -> bool:
+        """Synchronously re-run the partitioner for one sharded graph.
+
+        The foreground twin of the drift-triggered background pass
+        (useful for tests and operational tooling).  Returns ``True``
+        when a fresh partition was installed, ``False`` when the graph
+        is not sharded or was mutated mid-pass.
+        """
+        entry = self._entry(graph_name)
+        snapshot = entry.snapshot
+        if not isinstance(snapshot, ShardedSnapshot):
+            return False
+        graph = snapshot.graph
+        partition = partition_graph(graph, self._shards,
+                                    method=self._shard_method)
+        return self._swap_partition(graph_name, entry, graph, partition)
+
+    def join_repartitions(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every in-flight background re-partition to finish.
+
+        Returns ``True`` when none are left running (always, with no
+        ``timeout``).  Tests use this to make the background swap
+        deterministic; operationally it is a drain hook for shutdown.
+        """
+        with self._lock:
+            entries = list(self._graphs.values())
+        done = True
+        for entry in entries:
+            thread = entry.repartition_thread
+            if thread is not None:
+                thread.join(timeout)
+                done = done and not thread.is_alive()
+        return done
 
     @staticmethod
     def _check_belief_update(graph: Graph, view: _MaintainedView,
@@ -662,6 +918,7 @@ class PropagationService:
         with self._lock:
             entries = dict(self._graphs)
             queries, updates = self._queries, self._updates
+            stale_hits = self._stale_hits
         versions = {}
         views = {}
         shard_info = {}
@@ -673,6 +930,7 @@ class PropagationService:
                 # Plain read: the lock is held for whole batches, and a
                 # stats call must not stall behind a running dispatch.
                 executor = entry.executor
+                repartition_thread = entry.repartition_thread
                 shard_info[name] = {
                     "num_shards": partition_stats.num_shards,
                     "method": partition_stats.method,
@@ -681,6 +939,11 @@ class PropagationService:
                     "balance": partition_stats.balance,
                     "executor": type(executor).__name__
                     if executor is not None else None,
+                    "incremental_repairs": entry.incremental_repairs,
+                    "full_repartitions": entry.full_repartitions,
+                    "cut_drift": entry.cut_drift,
+                    "repartition_pending": repartition_thread is not None
+                    and repartition_thread.is_alive(),
                 }
             # View dicts mutate under the per-graph lock (create_view), so
             # read them under the same lock to keep iteration safe.
@@ -694,6 +957,7 @@ class PropagationService:
         return {
             "queries": queries,
             "updates": updates,
+            "stale_hits": stale_hits,
             "graphs": versions,
             "views": views,
             "shards": shard_info,

@@ -13,6 +13,14 @@ Entry points: :func:`partition_graph` → :func:`get_sharded_plan` →
 executor); the service layer wires these behind
 ``PropagationService(shards=p)``, and the CLI exposes
 ``repro partition`` and ``repro label --shards``.
+
+Edge mutations repair instead of rebuilding:
+:func:`repair_partition` (:mod:`repro.shard.repair`) rebuilds only the
+row blocks and halo maps of the shards an edge delta touched — identical
+to a from-scratch ``partition_from_assignment`` on the successor graph —
+and :func:`cut_drift` measures how far the repaired cut has degraded
+from the last full partition, the signal the service layer uses to
+schedule a background re-partition.
 """
 
 from repro.shard.block_engine import (
@@ -31,6 +39,7 @@ from repro.shard.partition import (
     partition_graph,
 )
 from repro.shard.pool import ShardWorkerPool
+from repro.shard.repair import RepairResult, cut_drift, repair_partition
 
 __all__ = [
     "GraphPartition",
@@ -40,6 +49,9 @@ __all__ = [
     "hash_assignment",
     "partition_from_assignment",
     "partition_graph",
+    "RepairResult",
+    "repair_partition",
+    "cut_drift",
     "ShardedPlan",
     "get_sharded_plan",
     "run_sharded_batch",

@@ -45,7 +45,7 @@ from repro.graphs.graph import Graph
 
 __all__ = ["ShardBlock", "PartitionStats", "GraphPartition",
            "partition_graph", "partition_from_assignment",
-           "hash_assignment", "bfs_assignment"]
+           "build_shard_block", "hash_assignment", "bfs_assignment"]
 
 #: Knuth's multiplicative hash constant (2^32 / golden ratio), used by the
 #: locality-oblivious baseline assignment.
@@ -393,6 +393,44 @@ def partition_graph(graph: Graph, num_shards: int,
                                      method=method)
 
 
+def build_shard_block(graph: Graph, assignment: np.ndarray,
+                      shard: int, adjacency: sp.csr_matrix = None,
+                      degrees: np.ndarray = None) -> ShardBlock:
+    """Build one shard's :class:`ShardBlock` from an assignment vector.
+
+    The block *owns* its data — the row slice and fancy-indexed arrays
+    are copies, never views into the graph's adjacency — which is what
+    lets :func:`repro.shard.repair.repair_partition` rebuild only the
+    shards an edge delta touched and carry every other block over to a
+    successor graph verbatim.  ``adjacency``/``degrees`` let a caller
+    building many blocks amortise the float64 cast and the degree
+    computation.
+    """
+    if adjacency is None:
+        adjacency = graph.adjacency
+        if adjacency.dtype != np.float64:
+            adjacency = adjacency.astype(np.float64)
+    if degrees is None:
+        degrees = graph.degree_vector()
+    nodes = np.flatnonzero(assignment == shard).astype(np.int64)
+    rows = adjacency[nodes]
+    touched = np.unique(rows.indices) if rows.nnz \
+        else np.empty(0, dtype=np.int64)
+    halo = touched[assignment[touched] != shard].astype(np.int64)
+    column_nodes = np.concatenate([nodes, halo]) if nodes.size or halo.size \
+        else np.empty(0, dtype=np.int64)
+    lookup = np.full(graph.num_nodes, -1, dtype=np.int64)
+    lookup[column_nodes] = np.arange(column_nodes.size)
+    local = sp.csr_matrix(
+        (rows.data, lookup[rows.indices], rows.indptr),
+        shape=(nodes.size, column_nodes.size))
+    local.sort_indices()
+    return ShardBlock(
+        shard_id=shard, nodes=nodes, halo_nodes=halo,
+        halo_owners=assignment[halo], adjacency=local,
+        degrees=degrees[nodes])
+
+
 def partition_from_assignment(graph: Graph, assignment: np.ndarray,
                               num_shards: int,
                               method: str = "custom") -> GraphPartition:
@@ -410,23 +448,8 @@ def partition_from_assignment(graph: Graph, assignment: np.ndarray,
     if adjacency.dtype != np.float64:
         adjacency = adjacency.astype(np.float64)
     degrees = graph.degree_vector()
-    blocks: List[ShardBlock] = []
-    for shard in range(num_shards):
-        nodes = np.flatnonzero(assignment == shard).astype(np.int64)
-        rows = adjacency[nodes]
-        touched = np.unique(rows.indices) if rows.nnz \
-            else np.empty(0, dtype=np.int64)
-        halo = touched[assignment[touched] != shard].astype(np.int64)
-        column_nodes = np.concatenate([nodes, halo]) if nodes.size or halo.size \
-            else np.empty(0, dtype=np.int64)
-        lookup = np.full(graph.num_nodes, -1, dtype=np.int64)
-        lookup[column_nodes] = np.arange(column_nodes.size)
-        local = sp.csr_matrix(
-            (rows.data, lookup[rows.indices], rows.indptr),
-            shape=(nodes.size, column_nodes.size))
-        local.sort_indices()
-        blocks.append(ShardBlock(
-            shard_id=shard, nodes=nodes, halo_nodes=halo,
-            halo_owners=assignment[halo], adjacency=local,
-            degrees=degrees[nodes]))
+    blocks: List[ShardBlock] = [
+        build_shard_block(graph, assignment, shard,
+                          adjacency=adjacency, degrees=degrees)
+        for shard in range(num_shards)]
     return GraphPartition(graph, assignment, blocks, method=method)

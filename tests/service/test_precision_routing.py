@@ -10,7 +10,7 @@ from repro.coupling import synthetic_residual_matrix
 from repro.engine import clear_plan_cache
 from repro.exceptions import UnknownBackendError, ValidationError
 from repro.graphs import random_graph
-from repro.service import PropagationService
+from repro.service import PropagationService, QuerySpec
 
 
 @pytest.fixture(autouse=True)
@@ -49,7 +49,8 @@ class TestStrictRouting:
     def test_strict_float32_runs_narrow_and_stays_close(self):
         graph, coupling, explicit = _workload()
         service = _service(graph)
-        narrow = service.query("g", coupling, explicit, dtype="float32")
+        narrow = service.query("g", coupling, explicit,
+                               QuerySpec(dtype="float32"))
         exact = service.query("g", coupling, explicit)
         assert narrow.beliefs.dtype == np.float32
         assert np.abs(exact.beliefs
@@ -59,7 +60,8 @@ class TestStrictRouting:
         graph, coupling, explicit = _workload()
         service = _service(graph)
         exact = service.query("g", coupling, explicit)
-        narrow = service.query("g", coupling, explicit, dtype=np.float32)
+        narrow = service.query("g", coupling, explicit,
+                               QuerySpec(dtype=np.float32))
         # A float32 answer must never be served for a float64 request.
         assert exact.beliefs.dtype == np.float64
         assert narrow.beliefs.dtype == np.float32
@@ -68,17 +70,20 @@ class TestStrictRouting:
         graph, coupling, explicit = _workload()
         service = _service(graph)
         with pytest.raises(UnknownBackendError):
-            service.query("g", coupling, explicit, dtype="int32")
+            service.query("g", coupling, explicit,
+                          QuerySpec(dtype="int32"))
         with pytest.raises(ValidationError):
-            service.query("g", coupling, explicit, precision="fast")
+            service.query("g", coupling, explicit,
+                          QuerySpec(precision="fast"))
 
 
 class TestAutoRouting:
     def test_auto_certifies_float32_at_loose_tolerance(self):
         graph, coupling, explicit = _workload()
         service = _service(graph)
-        result = service.query("g", coupling, explicit, precision="auto",
-                               tolerance=1e-3)
+        result = service.query("g", coupling, explicit,
+                               QuerySpec(precision="auto",
+                                         tolerance=1e-3))
         payload = result.extra["precision"]
         assert payload["certified"] is True
         assert payload["dtype"] == "float32"
@@ -87,7 +92,8 @@ class TestAutoRouting:
     def test_auto_falls_back_to_float64_at_default_tolerance(self):
         graph, coupling, explicit = _workload()
         service = _service(graph)
-        result = service.query("g", coupling, explicit, precision="auto")
+        result = service.query("g", coupling, explicit,
+                               QuerySpec(precision="auto"))
         payload = result.extra["precision"]
         assert payload["certified"] is False
         assert payload["dtype"] == "float64"
@@ -98,8 +104,9 @@ class TestAutoRouting:
     def test_auto_sbp_attaches_decision(self):
         graph, coupling, explicit = _workload()
         service = _service(graph)
-        result = service.query("g", coupling, explicit, method="sbp",
-                               precision="auto", tolerance=1e-3)
+        result = service.query("g", coupling, explicit,
+                               QuerySpec(method="sbp", precision="auto",
+                                         tolerance=1e-3))
         payload = result.extra["precision"]
         assert payload["certified"] is True
         assert result.beliefs.dtype == np.float32
@@ -109,14 +116,16 @@ class TestShardedRouting:
     def test_sharded_strict_float32(self):
         graph, coupling, explicit = _workload(num_nodes=120)
         service = _service(graph, shards=2, shard_executor="sequential")
-        result = service.query("g", coupling, explicit, dtype="float32")
+        result = service.query("g", coupling, explicit,
+                               QuerySpec(dtype="float32"))
         assert result.beliefs.dtype == np.float32
 
     def test_sharded_auto_certifies_and_attaches_decision(self):
         graph, coupling, explicit = _workload(num_nodes=120)
         service = _service(graph, shards=2, shard_executor="sequential")
-        result = service.query("g", coupling, explicit, precision="auto",
-                               tolerance=1e-3)
+        result = service.query("g", coupling, explicit,
+                               QuerySpec(precision="auto",
+                                         tolerance=1e-3))
         payload = result.extra["precision"]
         assert payload["certified"] is True
         assert result.beliefs.dtype == np.float32
@@ -124,7 +133,8 @@ class TestShardedRouting:
     def test_sharded_auto_fallback_matches_unsharded_exact(self):
         graph, coupling, explicit = _workload(num_nodes=120)
         service = _service(graph, shards=2, shard_executor="sequential")
-        result = service.query("g", coupling, explicit, precision="auto")
+        result = service.query("g", coupling, explicit,
+                               QuerySpec(precision="auto"))
         assert result.extra["precision"]["certified"] is False
         assert result.beliefs.dtype == np.float64
         sequential = linbp(graph, coupling, explicit)

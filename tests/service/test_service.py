@@ -17,7 +17,7 @@ from repro.coupling import synthetic_residual_matrix
 from repro.engine import clear_plan_cache
 from repro.exceptions import ValidationError
 from repro.graphs import random_graph
-from repro.service import PropagationService, ServiceHarness
+from repro.service import PropagationService, QuerySpec, ServiceHarness
 
 
 @pytest.fixture(autouse=True)
@@ -71,7 +71,8 @@ class TestConcurrentEquivalence:
         service.register_graph("g", graph)
         harness = ServiceHarness(service)
         requests = [dict(graph_name="g", coupling=coupling,
-                         explicit_residuals=explicit, method="sbp")
+                         explicit_residuals=explicit,
+                         spec=QuerySpec(method="sbp"))
                     for explicit in explicit_list]
         run = harness.run_concurrent(requests, num_clients=12)
         for explicit, result in zip(explicit_list, run.results):
@@ -85,7 +86,7 @@ class TestConcurrentEquivalence:
         service = PropagationService(window_seconds=0.0)
         service.register_graph("g", graph)
         result = service.query("g", coupling, explicit_list[0],
-                               method="linbp*")
+                               QuerySpec(method="linbp*"))
         assert result.method == "LinBP*"
 
 
@@ -272,8 +273,10 @@ class TestResultCache:
         graph, coupling, explicit_list = _workload(1)
         service = PropagationService(window_seconds=0.0)
         service.register_graph("g", graph)
-        a = service.query("g", coupling, explicit_list[0], num_iterations=3)
-        b = service.query("g", coupling, explicit_list[0], num_iterations=5)
+        a = service.query("g", coupling, explicit_list[0],
+                          QuerySpec(num_iterations=3))
+        b = service.query("g", coupling, explicit_list[0],
+                          QuerySpec(num_iterations=5))
         assert a is not b
         assert a.iterations == 3 and b.iterations == 5
 
@@ -283,10 +286,11 @@ class TestResultCache:
         graph, coupling, explicit_list = _workload(1)
         service = PropagationService(window_seconds=0.0)
         service.register_graph("g", graph)
-        a = service.query("g", coupling, explicit_list[0], method="sbp",
-                          max_iterations=50)
-        b = service.query("g", coupling, explicit_list[0], method="sbp",
-                          max_iterations=200, tolerance=1e-6)
+        a = service.query("g", coupling, explicit_list[0],
+                          QuerySpec(method="sbp", max_iterations=50))
+        b = service.query("g", coupling, explicit_list[0],
+                          QuerySpec(method="sbp", max_iterations=200,
+                                    tolerance=1e-6))
         assert b is a
 
 
@@ -296,7 +300,8 @@ class TestValidation:
         service = PropagationService(window_seconds=0.0)
         service.register_graph("g", graph)
         with pytest.raises(ValidationError):
-            service.query("g", coupling, explicit_list[0], method="bp")
+            service.query("g", coupling, explicit_list[0],
+                          QuerySpec(method="bp"))
         with pytest.raises(ValidationError):
             service.create_view("g", "v", coupling, explicit_list[0],
                                 method="magic")

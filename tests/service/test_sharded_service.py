@@ -11,7 +11,12 @@ from repro.core.linbp import linbp
 from repro.coupling import synthetic_residual_matrix
 from repro.exceptions import ValidationError
 from repro.graphs import random_graph
-from repro.service import GraphSnapshot, PropagationService, ShardedSnapshot
+from repro.service import (
+    GraphSnapshot,
+    PropagationService,
+    QuerySpec,
+    ShardedSnapshot,
+)
 from repro.shard import SequentialShardExecutor
 
 
@@ -58,7 +63,7 @@ class TestShardedRouting:
                                 shard_executor=executor) as service:
             service.register_graph("g", graph)
             result = service.query("g", coupling, explicit,
-                                   num_iterations=10)
+                                   QuerySpec(num_iterations=10))
             assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
             assert result.extra["engine"] == "shard"
             assert result.extra["num_shards"] == 3
@@ -71,8 +76,9 @@ class TestShardedRouting:
         with PropagationService(window_seconds=0.0, shards=2,
                                 shard_executor="sequential") as service:
             service.register_graph("g", graph)
-            result = service.query("g", coupling, explicit, method="linbp*",
-                                   num_iterations=8)
+            result = service.query("g", coupling, explicit,
+                                   QuerySpec(method="linbp*",
+                                             num_iterations=8))
             assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
 
     def test_sbp_keeps_single_matrix_path(self, graph, coupling):
@@ -83,7 +89,8 @@ class TestShardedRouting:
         with PropagationService(window_seconds=0.0, shards=3,
                                 shard_executor="sequential") as service:
             service.register_graph("g", graph)
-            result = service.query("g", coupling, explicit, method="sbp")
+            result = service.query("g", coupling, explicit,
+                                   QuerySpec(method="sbp"))
             assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
             assert result.extra.get("engine") != "shard"
 
@@ -99,7 +106,8 @@ class TestShardedRouting:
 
             def worker(index):
                 results[index] = service.query(
-                    "g", coupling, explicits[index], num_iterations=8)
+                    "g", coupling, explicits[index],
+                    QuerySpec(num_iterations=8))
 
             threads = [threading.Thread(target=worker, args=(i,))
                        for i in range(len(explicits))]
@@ -120,7 +128,7 @@ class TestShardedLifecycle:
         with PropagationService(window_seconds=0.0, shards=2,
                                 shard_executor="sequential") as service:
             service.register_graph("g", graph)
-            service.query("g", coupling, explicit, num_iterations=5)
+            service.query("g", coupling, explicit, QuerySpec(num_iterations=5))
             entry = service._entry("g")
             first_executor = entry.executor
             assert isinstance(first_executor, SequentialShardExecutor)
@@ -131,7 +139,7 @@ class TestShardedLifecycle:
             direct = linbp(snapshot.graph, coupling, explicit,
                            num_iterations=5)
             result = service.query("g", coupling, explicit,
-                                   num_iterations=5)
+                                   QuerySpec(num_iterations=5))
             assert np.abs(result.beliefs - direct.beliefs).max() < 1e-10
             assert entry.executor is not first_executor
 
@@ -151,7 +159,7 @@ class TestShardedLifecycle:
                                      shard_executor="sequential")
         service.register_graph("g", graph)
         service.query("g", coupling, _explicit(graph.num_nodes),
-                      num_iterations=3)
+                      QuerySpec(num_iterations=3))
         entry = service._entry("g")
         assert entry.executor is not None
         service.unregister_graph("g")
@@ -167,7 +175,7 @@ class TestShardedLifecycle:
             assert info["method"] == "bfs"
             assert info["executor"] is None  # lazy: no query yet
             service.query("g", coupling, _explicit(graph.num_nodes),
-                          num_iterations=3)
+                          QuerySpec(num_iterations=3))
             info = service.stats()["shards"]["g"]
             assert info["executor"] == "SequentialShardExecutor"
 

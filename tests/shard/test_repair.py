@@ -1,0 +1,159 @@
+"""Incremental partition repair: block equality, carry-over, drift."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs import random_graph
+from repro.graphs.graph import Edge, Graph
+from repro.shard import (
+    cut_drift,
+    partition_from_assignment,
+    partition_graph,
+    repair_partition,
+)
+
+
+def _graph(num_nodes=60, seed=5):
+    return random_graph(num_nodes, 0.1, seed=seed)
+
+
+def _missing_edges(graph, count, seed=9):
+    rng = np.random.default_rng(seed)
+    chosen = set()
+    edges = []
+    while len(edges) < count:
+        u, v = (int(x) for x in rng.integers(0, graph.num_nodes, size=2))
+        if u == v or (u, v) in chosen or (v, u) in chosen:
+            continue
+        if graph.adjacency[u, v] != 0:
+            continue
+        chosen.add((u, v))
+        edges.append((u, v))
+    return edges
+
+
+def _assert_blocks_equal(left, right):
+    assert left.num_shards == right.num_shards
+    assert np.array_equal(left.assignment, right.assignment)
+    for ours, fresh in zip(left.blocks, right.blocks):
+        assert np.array_equal(ours.nodes, fresh.nodes)
+        assert np.array_equal(ours.halo_nodes, fresh.halo_nodes)
+        assert np.array_equal(ours.halo_owners, fresh.halo_owners)
+        assert np.array_equal(ours.degrees, fresh.degrees)
+        assert (ours.adjacency != fresh.adjacency).nnz == 0
+
+
+class TestRepairEquivalence:
+    @pytest.mark.parametrize("method", ["bfs", "hash"])
+    def test_single_delta_matches_fresh_partition(self, method):
+        graph = _graph()
+        partition = partition_graph(graph, 4, method=method)
+        delta = _missing_edges(graph, 3)
+        new_graph = graph.with_edges_added(delta)
+        repaired = repair_partition(partition, new_graph, delta)
+        fresh = partition_from_assignment(new_graph, partition.assignment,
+                                          4, method=method)
+        _assert_blocks_equal(repaired.partition, fresh)
+
+    def test_delta_chain_stays_equivalent(self):
+        graph = _graph()
+        partition = partition_graph(graph, 3, method="bfs")
+        for step in range(6):
+            delta = _missing_edges(partition.graph, 2, seed=100 + step)
+            new_graph = partition.graph.with_edges_added(delta)
+            partition = repair_partition(partition, new_graph, delta).partition
+        fresh = partition_from_assignment(partition.graph,
+                                          partition.assignment, 3,
+                                          method="bfs")
+        _assert_blocks_equal(partition, fresh)
+
+    def test_untouched_blocks_are_carried_over_by_identity(self):
+        graph = _graph()
+        partition = partition_graph(graph, 4, method="bfs")
+        assignment = partition.assignment
+        # A delta inside one shard: pick two non-adjacent nodes of shard 0.
+        shard0 = np.flatnonzero(assignment == 0)
+        pair = None
+        for u in shard0:
+            for v in shard0:
+                if u < v and graph.adjacency[int(u), int(v)] == 0:
+                    pair = (int(u), int(v))
+                    break
+            if pair:
+                break
+        assert pair is not None
+        new_graph = graph.with_edges_added([pair])
+        result = repair_partition(partition, new_graph, [pair])
+        assert result.repaired_shards == (0,)
+        for shard in range(1, 4):
+            assert result.partition.blocks[shard] is partition.blocks[shard]
+
+    def test_edge_objects_and_weighted_tuples_accepted(self):
+        graph = _graph()
+        partition = partition_graph(graph, 2, method="bfs")
+        (u, v), (x, y) = _missing_edges(graph, 2)
+        delta = [Edge(u, v, 0.5), (x, y, 2.0)]
+        new_graph = graph.with_edges_added(delta)
+        repaired = repair_partition(partition, new_graph, delta).partition
+        fresh = partition_from_assignment(new_graph, partition.assignment, 2)
+        _assert_blocks_equal(repaired, fresh)
+
+
+class TestRepairValidation:
+    def test_node_count_must_match(self):
+        graph = _graph()
+        partition = partition_graph(graph, 2)
+        bigger = Graph.from_edges(
+            [(e.source, e.target, e.weight) for e in graph.edges()],
+            num_nodes=graph.num_nodes + 1)
+        with pytest.raises(ValidationError):
+            repair_partition(partition, bigger, [(0, 1)])
+
+    def test_empty_delta_rejected(self):
+        graph = _graph()
+        partition = partition_graph(graph, 2)
+        with pytest.raises(ValidationError):
+            repair_partition(partition, graph, [])
+
+    def test_out_of_range_endpoint_rejected(self):
+        graph = _graph()
+        partition = partition_graph(graph, 2)
+        with pytest.raises(ValidationError):
+            repair_partition(partition, graph, [(0, graph.num_nodes)])
+
+    def test_malformed_edge_rejected(self):
+        graph = _graph()
+        partition = partition_graph(graph, 2)
+        with pytest.raises(ValidationError):
+            repair_partition(partition, graph, [(0, 1, 1.0, "extra")])
+
+
+class TestCutDrift:
+    def test_no_drift_when_cut_unchanged(self):
+        graph = _graph()
+        stats = partition_graph(graph, 3).stats()
+        assert cut_drift(stats, stats) == 0.0
+
+    def test_drift_grows_with_cross_shard_deltas(self):
+        graph = _graph()
+        partition = partition_graph(graph, 2, method="bfs")
+        baseline = partition.stats()
+        assignment = partition.assignment
+        # Land every new edge across the cut.
+        left = np.flatnonzero(assignment == 0)
+        right = np.flatnonzero(assignment == 1)
+        delta = []
+        for u in left[:6]:
+            for v in right[:6]:
+                if graph.adjacency[int(u), int(v)] == 0:
+                    delta.append((int(u), int(v)))
+        assert delta
+        new_graph = graph.with_edges_added(delta)
+        repaired = repair_partition(partition, new_graph, delta).partition
+        drift = cut_drift(baseline, repaired.stats())
+        assert drift > 0.0
+        # An improvement (hypothetically) would clamp at zero.
+        assert cut_drift(repaired.stats(), baseline) == 0.0

@@ -1,8 +1,8 @@
-"""Documentation health: README quickstart runs, doc links resolve.
+"""Documentation health: quickstart runs, links resolve, API is documented.
 
 This wires ``scripts/check_docs.py`` into the regular test run so a broken
-README snippet or a dangling intra-repo link fails CI, not just the optional
-script invocation.
+README snippet, a dangling intra-repo link, or an undocumented
+``repro.service`` export fails CI, not just the optional script invocation.
 """
 
 from __future__ import annotations
@@ -22,7 +22,8 @@ def _check_docs_module():
 
 
 def test_required_documentation_exists():
-    for relative in ("README.md", "docs/architecture.md", "docs/performance.md"):
+    for relative in ("README.md", "docs/architecture.md",
+                     "docs/performance.md", "docs/api.md"):
         assert (ROOT / relative).exists(), f"{relative} is missing"
 
 
@@ -37,6 +38,12 @@ def test_intra_repo_doc_links_resolve():
     dangling = check_docs.broken_links(ROOT)
     assert dangling == [], \
         "\n".join(f"{path}: ({target})" for path, target in dangling)
+
+
+def test_every_service_export_is_documented():
+    check_docs = _check_docs_module()
+    missing = check_docs.undocumented_service_api(ROOT)
+    assert missing == [], "\n".join(missing)
 
 
 def test_check_docs_script_passes_end_to_end():
