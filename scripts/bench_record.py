@@ -26,7 +26,9 @@ the ratios goes unnoticed.  This script closes that gap:
   ``sql`` (the SQL execution backend against ``BENCH_sql.json`` —
   SQLite-executed LinBP vs the pure-Python relational engine), or
   ``precision`` (the mixed-precision kernel layer against
-  ``BENCH_precision.json`` — float32 vs float64 SpMM throughput).
+  ``BENCH_precision.json`` — float32 vs float64 SpMM throughput), or
+  ``obs`` (telemetry overhead against ``BENCH_obs.json`` — the
+  instrumented query path gated at <5% over ``REPRO_OBS_DISABLED``).
   ``--suite all`` runs every suite in sequence; an unknown suite name
   exits non-zero listing the valid choices.
 
@@ -87,6 +89,10 @@ SUITES = {
     "stream": {
         "targets": ["benchmarks/test_bench_stream.py"],
         "baseline": "BENCH_stream.json",
+    },
+    "obs": {
+        "targets": ["benchmarks/test_bench_obs.py"],
+        "baseline": "BENCH_obs.json",
     },
 }
 #: Pseudo-suite: run every suite above in sequence.
@@ -306,7 +312,8 @@ def main(argv: List[str] | None = None) -> int:
                              "file ('engine' -> BENCH_sbp.json, 'shard' -> "
                              "BENCH_shard.json, 'sql' -> BENCH_sql.json, "
                              "'precision' -> BENCH_precision.json, "
-                             "'stream' -> BENCH_stream.json), or "
+                             "'stream' -> BENCH_stream.json, "
+                             "'obs' -> BENCH_obs.json), or "
                              "'all' to run every suite in sequence "
                              f"(valid: {', '.join(sorted(SUITES))}, all)")
     parser.add_argument("--baseline", default=None,

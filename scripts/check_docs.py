@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Doc health checks: quickstart, intra-repo links, public-API coverage.
+"""Doc health checks: quickstart, links, API and metric-catalog coverage.
 
-Three checks, all also enforced by the test suite (``tests/test_docs.py``):
+Four checks, all also enforced by the test suite (``tests/test_docs.py``):
 
 1. **Quickstart doctest** — every fenced ````python`` block in ``README.md``
    is executed, in order, in one shared namespace (later blocks may build on
@@ -14,6 +14,11 @@ Three checks, all also enforced by the test suite (``tests/test_docs.py``):
 3. **Public-API coverage** — every name exported by
    ``repro.service.__all__`` must appear in ``docs/api.md``, so the
    reference can never silently fall behind the package's public surface.
+4. **Metric-catalog accuracy** — every ``repro_…`` metric name written in
+   ``docs/observability.md`` must exist in the live registries (the
+   process-wide default registry plus a ``PropagationService`` instance's
+   always-on registry), so the catalog can never document a metric that
+   was renamed or removed.
 
 Run with::
 
@@ -104,6 +109,35 @@ def undocumented_service_api(root: Path) -> List[str]:
             for name in service_module.__all__ if name not in text]
 
 
+METRIC_NAME_PATTERN = re.compile(r"`(repro_[a-z0-9_]+)`")
+
+
+def unknown_catalog_metrics(root: Path) -> List[str]:
+    """Metric names in ``docs/observability.md`` missing from the registries."""
+    obs_doc = root / "docs" / "observability.md"
+    if not obs_doc.exists():
+        return ["docs/observability.md is missing"]
+    source = str(root / "src")
+    if source not in sys.path:
+        sys.path.insert(0, source)
+    # Importing the packages registers every module-level metric on the
+    # default registry; the service's always-on registry needs an instance.
+    import repro.engine  # noqa: F401
+    import repro.shard  # noqa: F401
+    from repro.obs import iter_registries
+    from repro.service import PropagationService
+
+    service = PropagationService()
+    known = set()
+    for registry in iter_registries(service.registry):
+        known.update(registry.names())
+    documented = set(METRIC_NAME_PATTERN.findall(
+        obs_doc.read_text(encoding="utf-8")))
+    return [f"docs/observability.md names metric {name!r}, which no "
+            f"registry defines"
+            for name in sorted(documented - known)]
+
+
 def main(argv: List[str] | None = None) -> int:
     arguments = list(sys.argv[1:]) if argv is None else list(argv)
     root = Path(arguments[0]).resolve() if arguments else repo_root()
@@ -130,6 +164,14 @@ def main(argv: List[str] | None = None) -> int:
     else:
         print("ok   every repro.service public name is documented in "
               "docs/api.md")
+    unknown = unknown_catalog_metrics(root)
+    if unknown:
+        failures += len(unknown)
+        for message in unknown:
+            print(f"FAIL {message}")
+    else:
+        print("ok   every metric in docs/observability.md exists in the "
+              "registries")
     return 1 if failures else 0
 
 

@@ -21,6 +21,11 @@ The CLI mirrors how the paper's artifacts would be used from a shell:
     are micro-batched through the engine (see
     :mod:`repro.service.protocol` for the operations).
 
+``python -m repro stats``
+    Query a running ``repro serve`` instance for its request counters
+    (``stats``) or its full telemetry registry (``--metrics``), over the
+    versioned line protocol.
+
 ``python -m repro partition``
     Split a graph into shards (BFS edge-cut or hash baseline) and report
     cut size, balance and halo volume — the quantities that decide
@@ -331,7 +336,7 @@ def _command_backends(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.service import LineProtocolServer, ServiceSession, serve_stream
+    from repro.service import ServiceSession
 
     session = ServiceSession(
         window_seconds=args.window_ms / 1000.0,
@@ -340,6 +345,28 @@ def _command_serve(args: argparse.Namespace) -> int:
         result_ttl_seconds=args.result_ttl if args.result_ttl > 0 else None,
         snapshot_history=args.snapshot_history,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs import iter_registries, start_metrics_server
+
+        metrics_server = start_metrics_server(
+            args.metrics_port, host=args.host,
+            registries=list(iter_registries(session.service.registry)))
+        print(f"repro serve: metrics on "
+              f"http://{args.host}:{metrics_server.port}/metrics",
+              file=sys.stderr)
+    try:
+        return _run_serve_frontend(args, session)
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
+
+
+def _run_serve_frontend(args: argparse.Namespace,
+                        session: "ServiceSession") -> int:
+    """Run the selected serve front end (async TCP, stdin, threaded TCP)."""
+    from repro.service import LineProtocolServer, serve_stream
+
     if getattr(args, "use_async", False):
         import asyncio
 
@@ -378,6 +405,56 @@ def _command_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _print_stats_tree(data: dict, indent: int = 0) -> None:
+    for key, value in data.items():
+        if isinstance(value, dict):
+            print("  " * indent + f"{key}:")
+            _print_stats_tree(value, indent + 1)
+        else:
+            print("  " * indent + f"{key}: {value}")
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    import socket
+
+    request = {"op": "metrics" if args.metrics else "stats", "v": 1}
+    if args.metrics and args.prometheus:
+        request["format"] = "prometheus"
+    try:
+        with socket.create_connection((args.host, args.port),
+                                      timeout=args.timeout) as sock:
+            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            with sock.makefile("r", encoding="utf-8") as reader:
+                line = reader.readline()
+    except OSError as error:
+        print(f"error: cannot reach {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    if not line.strip():
+        print("error: server closed the connection without replying",
+              file=sys.stderr)
+        return 2
+    try:
+        reply = json.loads(line)
+    except json.JSONDecodeError:
+        print(f"error: unparseable reply: {line.strip()}", file=sys.stderr)
+        return 2
+    if not reply.get("ok"):
+        error = reply.get("error", {})
+        print(f"error: {error.get('code', 'unknown')}: "
+              f"{error.get('message', line.strip())}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+    elif args.metrics and args.prometheus:
+        sys.stdout.write(reply["prometheus"])
+    elif args.metrics:
+        _print_stats_tree(reply["metrics"])
+    else:
+        _print_stats_tree(reply["stats"])
     return 0
 
 
@@ -522,7 +599,28 @@ def build_parser() -> argparse.ArgumentParser:
                        default=4,
                        help="stale snapshot versions kept per graph for "
                             "bounded-staleness queries (default: 4)")
+    serve.add_argument("--metrics-port", type=_non_negative_int, default=None,
+                       help="also serve Prometheus text metrics over HTTP on "
+                            "this port (0 = pick a free port; default: off)")
     serve.set_defaults(handler=_command_serve)
+
+    stats = subparsers.add_parser(
+        "stats", help="query a running 'repro serve' for counters or metrics")
+    stats.add_argument("--port", type=_positive_int, required=True,
+                       help="TCP port of the running server")
+    stats.add_argument("--host", default="127.0.0.1",
+                       help="server address (default: 127.0.0.1)")
+    stats.add_argument("--metrics", action="store_true",
+                       help="fetch the full telemetry registry instead of "
+                            "the request counters")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="with --metrics: print Prometheus text "
+                            "exposition instead of the key tree")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw v1 JSON reply")
+    stats.add_argument("--timeout", type=_non_negative_float, default=5.0,
+                       help="connection timeout in seconds (default: 5)")
+    stats.set_defaults(handler=_command_stats)
     return parser
 
 

@@ -32,8 +32,13 @@ from repro.core.results import PropagationResult
 from repro.engine import kernels
 from repro.engine.plan import PropagationPlan
 from repro.exceptions import NotConvergentParametersError, ValidationError
+from repro.obs import counter, profile_batch_query, span
 
 __all__ = ["BatchWorkspace", "run_batch"]
+
+#: One increment per batched LinBP sweep (all queries advance together).
+SWEEPS = counter("repro_engine_sweeps_total",
+                 "Propagation sweeps executed, by engine.")
 
 
 class BatchWorkspace:
@@ -141,7 +146,8 @@ def run_batch(plan: PropagationPlan, explicit_list: Sequence[np.ndarray],
               max_iterations: int = 100, tolerance: float = 1e-10,
               num_iterations: Optional[int] = None,
               require_convergence: bool = False,
-              workspace: Optional[BatchWorkspace] = None
+              workspace: Optional[BatchWorkspace] = None,
+              profile: bool = False
               ) -> List[PropagationResult]:
     """Propagate many explicit-belief matrices concurrently on one plan.
 
@@ -156,6 +162,11 @@ def run_batch(plan: PropagationPlan, explicit_list: Sequence[np.ndarray],
 
     ``workspace`` may supply a preallocated :class:`BatchWorkspace` (of
     matching width) to reuse across repeated batches.
+
+    ``profile=True`` attaches a convergence profile (the residual
+    trajectory next to the plan's Lemma 8 spectral radius — see
+    :mod:`repro.obs.profile`) to every result's ``extra["profile"]``;
+    the radius is an eigensolve on first use, cached on the plan.
     """
     if max_iterations < 1:
         raise ValidationError("max_iterations must be >= 1")
@@ -183,19 +194,25 @@ def run_batch(plan: PropagationPlan, explicit_list: Sequence[np.ndarray],
     # snapshotted lazily, only when a further step is about to overwrite
     # them (in the common all-converge-together case nothing is copied).
     pending_freeze: List[int] = []
+    sweeps_run = 0
     for _ in range(budget):
         if not fixed_iterations and converged.all():
             break
         for query in pending_freeze:
             frozen[query] = workspace.beliefs(query)
         pending_freeze = []
-        changes = workspace.step()
+        with span("engine.sweep", engine="batch", queries=q) as sweep:
+            changes = workspace.step()
+            sweep.set_tag("residual", float(changes.max()))
+        sweeps_run += 1
         for query in np.nonzero(~converged)[0]:
             iterations[query] += 1
             histories[query].append(float(changes[query]))
             if not fixed_iterations and changes[query] < tolerance:
                 converged[query] = True
                 pending_freeze.append(query)
+    if sweeps_run:
+        SWEEPS.inc(sweeps_run, engine="batch")
     results: List[PropagationResult] = []
     for query in range(q):
         beliefs = frozen[query] if frozen[query] is not None \
@@ -203,16 +220,20 @@ def run_batch(plan: PropagationPlan, explicit_list: Sequence[np.ndarray],
         history = histories[query]
         done = bool(converged[query]) if not fixed_iterations \
             else bool(history and history[-1] < tolerance)
+        extra = {"echo_cancellation": plan.echo_cancellation,
+                 "epsilon": plan.coupling.epsilon,
+                 "engine": "batch",
+                 "dtype": plan.dtype.name,
+                 "batch_size": q}
+        if profile:
+            extra["profile"] = profile_batch_query(
+                plan, history, int(iterations[query]), done, tolerance)
         results.append(PropagationResult(
             beliefs=beliefs,
             method=plan.method_name,
             iterations=int(iterations[query]),
             converged=done,
             residual_history=history,
-            extra={"echo_cancellation": plan.echo_cancellation,
-                   "epsilon": plan.coupling.epsilon,
-                   "engine": "batch",
-                   "dtype": plan.dtype.name,
-                   "batch_size": q},
+            extra=extra,
         ))
     return results

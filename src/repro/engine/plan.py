@@ -39,6 +39,7 @@ from repro.coupling.matrices import CouplingMatrix
 from repro.engine import backend as array_backend
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
+from repro.obs import counter, span
 
 __all__ = ["PropagationPlan", "GraphKeyedCache", "get_plan",
            "get_binary_solver", "clear_plan_cache", "plan_cache_info",
@@ -46,6 +47,13 @@ __all__ = ["PropagationPlan", "GraphKeyedCache", "get_plan",
 
 #: Maximum number of cached propagation plans / binary factorisations.
 PLAN_CACHE_SIZE = 32
+
+#: Plan-cache outcomes, by plan kind (``linbp`` here, ``sbp`` in
+#: :mod:`repro.engine.sbp_plan`, ``sharded`` in the shard layer).
+PLAN_BUILDS = counter("repro_plan_builds_total",
+                      "Propagation plans built (cache misses), by kind.")
+PLAN_CACHE_HITS = counter("repro_plan_cache_hits_total",
+                          "Propagation plans served from cache, by kind.")
 
 
 class PropagationPlan:
@@ -328,10 +336,15 @@ def get_plan(graph: Graph, coupling: CouplingMatrix,
         + coupling_key(coupling)
     plan = _plan_cache.lookup(graph, key_suffix)
     if plan is None:
-        plan = PropagationPlan(graph, coupling,
-                               echo_cancellation=echo_cancellation,
-                               dtype=dtype, backend=backend)
+        with span("engine.plan_build", kind="linbp",
+                  nodes=graph.num_nodes):
+            plan = PropagationPlan(graph, coupling,
+                                   echo_cancellation=echo_cancellation,
+                                   dtype=dtype, backend=backend)
+        PLAN_BUILDS.inc(kind="linbp")
         _plan_cache.store(graph, key_suffix, plan)
+    else:
+        PLAN_CACHE_HITS.inc(kind="linbp")
     return plan
 
 

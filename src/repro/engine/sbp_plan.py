@@ -41,11 +41,14 @@ from repro.core.results import PropagationResult
 from repro.engine import backend as kernels_backend
 from repro.engine import kernels
 from repro.engine.plan import (
+    PLAN_BUILDS,
+    PLAN_CACHE_HITS,
     PLAN_CACHE_SIZE,
     GraphKeyedCache,
     register_auxiliary_cache,
 )
 from repro.exceptions import ValidationError
+from repro.obs import counter, profile_sbp_query, span
 from repro.graphs.geodesic import (
     UNREACHABLE,
     as_node_array,
@@ -65,6 +68,11 @@ __all__ = [
     "repair_explicit_beliefs",
     "repair_added_edges",
 ]
+
+#: Shares the series of :data:`repro.engine.batch.SWEEPS` — get-or-create
+#: on the default registry returns the same counter object.
+SWEEPS = counter("repro_engine_sweeps_total",
+                 "Propagation sweeps executed, by engine.")
 
 
 class SBPPlan:
@@ -210,8 +218,13 @@ def get_sbp_plan(graph: Graph, labeled_nodes: Iterable[int],
     key = (labeled.tobytes(), kernels_backend.dtype_name(dtype))
     plan = _sbp_plan_cache.lookup(graph, key)
     if plan is None:
-        plan = SBPPlan(graph, labeled, dtype=dtype)
+        with span("engine.plan_build", kind="sbp",
+                  nodes=graph.num_nodes, labeled=int(labeled.size)):
+            plan = SBPPlan(graph, labeled, dtype=dtype)
+        PLAN_BUILDS.inc(kind="sbp")
         _sbp_plan_cache.store(graph, key, plan)
+    else:
+        PLAN_CACHE_HITS.inc(kind="sbp")
     return plan
 
 
@@ -230,7 +243,8 @@ register_auxiliary_cache(_sbp_plan_cache.clear, sbp_plan_cache_info)
 # ---------------------------------------------------------------------- #
 def run_sbp_batch(graph: Graph, coupling: CouplingMatrix,
                   explicit_list: Sequence[np.ndarray],
-                  dtype=kernels_backend.DEFAULT_DTYPE
+                  dtype=kernels_backend.DEFAULT_DTYPE,
+                  profile: bool = False
                   ) -> List[PropagationResult]:
     """Propagate many explicit-belief matrices through shared SBP plans.
 
@@ -243,7 +257,10 @@ def run_sbp_batch(graph: Graph, coupling: CouplingMatrix,
 
     ``dtype`` selects the sweep's element width (the level slices, the
     belief buffers and the returned beliefs); float64 — the default —
-    reproduces the historical numerics bit for bit.
+    reproduces the historical numerics bit for bit.  ``profile=True``
+    attaches each query's traversal profile (level count, widest level,
+    ``A*`` entries read — see :func:`repro.obs.profile_sbp_query`) to
+    ``extra["profile"]``.
     """
     if len(explicit_list) == 0:
         return []
@@ -271,7 +288,10 @@ def run_sbp_batch(graph: Graph, coupling: CouplingMatrix,
             block = checked[indices[0]]
         else:
             block = np.concatenate([checked[i] for i in indices], axis=1)
-        beliefs, edges_touched = plan.propagate(block, residual)
+        with span("engine.sweep", engine="sbp", queries=len(indices),
+                  levels=max(0, plan.max_level)):
+            beliefs, edges_touched = plan.propagate(block, residual)
+        SWEEPS.inc(engine="sbp")
         for position, index in enumerate(indices):
             results[index] = PropagationResult(
                 beliefs=np.ascontiguousarray(
@@ -285,7 +305,9 @@ def run_sbp_batch(graph: Graph, coupling: CouplingMatrix,
                        "epsilon": coupling.epsilon,
                        "engine": "sbp_batch",
                        "dtype": dtype.name,
-                       "batch_size": len(checked)},
+                       "batch_size": len(checked),
+                       **({"profile": profile_sbp_query(plan, edges_touched)}
+                          if profile else {})},
             )
     return results  # type: ignore[return-value]
 

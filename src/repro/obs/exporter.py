@@ -1,0 +1,164 @@
+"""Prometheus text exposition and the ``--metrics-port`` HTTP endpoint.
+
+:func:`render_prometheus` serialises one or more registries into the
+Prometheus text format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers,
+one sample line per label combination, histograms expanded into
+cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+Metric names in this codebase are already exposition-safe
+(``repro_*_total`` style); label values are escaped per the format
+rules.
+
+:class:`MetricsHTTPServer` is the minimal scrape endpoint behind
+``repro serve --metrics-port N``: a stdlib ``ThreadingHTTPServer``
+answering ``GET /metrics`` with the rendered text, run on a daemon
+thread so it never blocks service shutdown.  No dependencies, no
+frameworks — the whole exporter is this file.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["render_prometheus", "MetricsHTTPServer", "start_metrics_server"]
+
+#: Content type mandated by the Prometheus text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_labels(labels: dict, extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_metric(metric, lines: list) -> None:
+    if metric.help:
+        lines.append(f"# HELP {metric.name} {metric.help}")
+    lines.append(f"# TYPE {metric.name} {metric.kind}")
+    if isinstance(metric, Histogram):
+        for labels, series in metric.labeled_values():
+            cumulative = 0
+            for bound, count in zip(metric.buckets, series.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_format_labels(labels, {'le': repr(float(bound))})} "
+                    f"{cumulative}")
+            lines.append(
+                f"{metric.name}_bucket{_format_labels(labels, {'le': '+Inf'})} "
+                f"{series.count}")
+            lines.append(f"{metric.name}_sum{_format_labels(labels)} "
+                         f"{repr(series.sum)}")
+            lines.append(f"{metric.name}_count{_format_labels(labels)} "
+                         f"{series.count}")
+    else:
+        series = metric.labeled_values()
+        if not series:
+            # An instrumented-but-never-hit metric still exposes a zero
+            # sample, so dashboards can tell "registered" from "absent".
+            lines.append(f"{metric.name} 0")
+        for labels, value in series:
+            lines.append(f"{metric.name}{_format_labels(labels)} "
+                         f"{_format_value(value)}")
+
+
+def render_prometheus(
+        registries: Optional[Sequence[MetricsRegistry]] = None) -> str:
+    """Render registries as Prometheus text (default: the global registry).
+
+    Later registries win name collisions are not expected — metric names
+    are namespaced per layer — but if two registries define the same
+    name, both are rendered (Prometheus tolerates repeated groups with
+    distinct label sets).
+    """
+    if registries is None:
+        registries = [REGISTRY]
+    lines: list = []
+    for registry in registries:
+        for metric in registry.metrics():
+            _render_metric(metric, lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsHTTPServer:
+    """A daemon-thread HTTP endpoint serving ``GET /metrics``.
+
+    ``registries`` defaults to the global registry; pass the service's
+    own registry too so request counters appear in the scrape.
+    """
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 registries: Optional[Sequence[MetricsRegistry]] = None):
+        self._registries = list(registries) if registries else [REGISTRY]
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                body = render_prometheus(outer._registries).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args) -> None:  # noqa: A002
+                pass  # scrapes are high-frequency; stay quiet
+
+        self._server = ThreadingHTTPServer((host, int(port)), _Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-metrics", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def start_metrics_server(
+        port: int, host: str = "127.0.0.1",
+        registries: Optional[Sequence[MetricsRegistry]] = None
+        ) -> MetricsHTTPServer:
+    """Construct and start a :class:`MetricsHTTPServer` in one call."""
+    return MetricsHTTPServer(port, host=host, registries=registries).start()

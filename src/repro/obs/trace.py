@@ -1,0 +1,222 @@
+"""Lightweight tracing spans with pluggable sinks.
+
+``with span("engine.sweep", engine="batch"):`` times a block and, on
+exit, (a) observes the duration on the ``repro_span_seconds`` histogram
+(labelled by span name) and (b) emits a :class:`SpanEvent` to every
+registered sink.  Three sinks ship with the module:
+
+* :class:`RingBufferSink` — bounded in-memory deque; the default sink
+  (capacity 2048) so recent spans are always inspectable without any
+  configuration (``repro.obs.recent_spans()``);
+* :class:`JsonLinesSink` — one JSON object per line to a file path or
+  file object, for offline analysis;
+* :class:`StderrSink` — human-readable one-liners, for quick debugging.
+
+When telemetry is disabled (``REPRO_OBS_DISABLED=1`` or
+:func:`repro.obs.set_obs_enabled`), :func:`span` returns a shared no-op
+singleton — the hot path pays one flag check and one attribute load, no
+object allocation and no clock read.  Instrumented call sites therefore
+never need their own guard.
+
+Tags are free-form key/values frozen into the event at exit;
+:meth:`_Span.set_tag` adds tags mid-span (e.g. the residual a sweep
+produced).  Sink errors are deliberately not swallowed for the in-tree
+sinks (they cannot fail in normal operation); a custom sink that raises
+will surface its error at the emitting call site.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, TextIO, Union
+
+from repro.obs.metrics import STATE, histogram
+
+__all__ = [
+    "SpanEvent",
+    "span",
+    "RingBufferSink",
+    "JsonLinesSink",
+    "StderrSink",
+    "add_sink",
+    "remove_sink",
+    "default_ring",
+    "recent_spans",
+]
+
+#: Every span duration lands here, labelled by span name.
+SPAN_SECONDS = histogram(
+    "repro_span_seconds",
+    "Duration of traced spans, labelled by span name.")
+
+
+class SpanEvent:
+    """One finished span: name, wall-clock start, duration, tags."""
+
+    __slots__ = ("name", "start", "duration", "tags")
+
+    def __init__(self, name: str, start: float, duration: float,
+                 tags: Dict[str, object]) -> None:
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.tags = tags
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"span": self.name, "start": self.start,
+                "duration_seconds": self.duration, "tags": dict(self.tags)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanEvent({self.name!r}, duration="
+                f"{self.duration * 1e3:.3f}ms, tags={self.tags!r})")
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self._events: Deque[SpanEvent] = deque(maxlen=int(capacity))
+
+    def emit(self, event: SpanEvent) -> None:
+        self._events.append(event)
+
+    def events(self) -> List[SpanEvent]:
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonLinesSink:
+    """Append one JSON object per event to a path or open file object."""
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        if isinstance(target, str):
+            self._file: TextIO = open(target, "a", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self._lock = threading.Lock()
+
+    def emit(self, event: SpanEvent) -> None:
+        line = json.dumps(event.to_dict(), sort_keys=True, default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+
+
+class StderrSink:
+    """Human-readable one-liners on stderr (or any stream)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: SpanEvent) -> None:
+        tags = " ".join(f"{key}={value}" for key, value
+                        in sorted(event.tags.items()))
+        self._stream.write(
+            f"[span] {event.name} {event.duration * 1e3:.3f}ms"
+            + (f" {tags}" if tags else "") + "\n")
+
+
+#: The always-registered in-memory sink (never removed by ``remove_sink``).
+#: ``_SINKS`` is an immutable tuple rebound under the lock on add/remove,
+#: so the span exit path iterates it without taking a lock or copying.
+_DEFAULT_RING = RingBufferSink()
+_SINKS: tuple = (_DEFAULT_RING,)
+_SINKS_LOCK = threading.Lock()
+
+
+def default_ring() -> RingBufferSink:
+    """The built-in ring buffer sink holding the most recent spans."""
+    return _DEFAULT_RING
+
+
+def recent_spans(name: Optional[str] = None) -> List[SpanEvent]:
+    """Events in the default ring buffer, optionally filtered by span name."""
+    events = _DEFAULT_RING.events()
+    if name is None:
+        return events
+    return [event for event in events if event.name == name]
+
+
+def add_sink(sink) -> None:
+    """Register a sink (any object with ``emit(SpanEvent)``)."""
+    global _SINKS
+    with _SINKS_LOCK:
+        _SINKS = _SINKS + (sink,)
+
+
+def remove_sink(sink) -> None:
+    """Unregister a sink added with :func:`add_sink` (no-op if absent)."""
+    global _SINKS
+    with _SINKS_LOCK:
+        _SINKS = tuple(s for s in _SINKS if s is not sink)
+
+
+class _Span:
+    """A live span; created by :func:`span` only when telemetry records."""
+
+    __slots__ = ("name", "tags", "_wall_start", "_perf_start", "duration")
+
+    def __init__(self, name: str, tags: Dict[str, object]) -> None:
+        self.name = name
+        self.tags = tags
+        self.duration = 0.0
+        self._wall_start = 0.0
+        self._perf_start = 0.0
+
+    def set_tag(self, key: str, value: object) -> None:
+        self.tags[key] = value
+
+    def __enter__(self) -> "_Span":
+        self._wall_start = time.time()
+        self._perf_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._perf_start
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        SPAN_SECONDS.observe(self.duration, span=self.name)
+        event = SpanEvent(self.name, self._wall_start, self.duration,
+                          self.tags)
+        for sink in _SINKS:
+            sink.emit(event)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def set_tag(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **tags: object):
+    """Open a span context manager (a shared no-op when telemetry is off)."""
+    if not STATE.enabled:
+        return _NOOP
+    return _Span(name, tags)

@@ -45,9 +45,16 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
 from repro.exceptions import ValidationError
+from repro.obs import counter
 from repro.service.protocol import ServiceSession
 
 __all__ = ["AsyncServiceServer", "serve_async"]
+
+#: Admission-control refusals (the per-instance ``stats["rejected"]``
+#: dict entry remains the per-server source of truth).
+REJECTIONS = counter(
+    "repro_service_rejections_total",
+    "Requests rejected by async admission control (overloaded).")
 
 #: Default bound on in-flight requests across all connections.
 DEFAULT_MAX_PENDING = 64
@@ -209,6 +216,7 @@ class AsyncServiceServer:
         """
         if self._pending >= self.max_pending:
             self.stats["rejected"] += 1
+            REJECTIONS.inc()
             future = loop.create_future()
             future.set_result((self.session.overload_response(
                 line, f"server overloaded: {self._pending} requests in "

@@ -34,8 +34,17 @@ import threading
 from typing import Callable, Dict, Hashable, List, Sequence
 
 from repro.exceptions import ValidationError
+from repro.obs import counter, span
 
 __all__ = ["MicroBatcher"]
+
+#: Global coalescing telemetry (the per-instance ``stats`` dict stays
+#: the source of truth for ``PropagationService.stats()``).
+BATCHES = counter("repro_coalescer_batches_total",
+                  "Micro-batches dispatched by the coalescer.")
+COALESCED = counter("repro_coalescer_coalesced_requests_total",
+                    "Requests that shared a dispatched micro-batch "
+                    "(batches of one count zero).")
 
 
 class _PendingBatch:
@@ -130,7 +139,11 @@ class MicroBatcher:
                     self.stats["coalesced_requests"] += len(items)
                 if len(items) > self.stats["largest_batch"]:
                     self.stats["largest_batch"] = len(items)
-            results = run(items)
+            BATCHES.inc()
+            if len(items) > 1:
+                COALESCED.inc(len(items))
+            with span("service.coalesce_dispatch", batch=len(items)):
+                results = run(items)
             if len(results) != len(items):
                 raise ValidationError(
                     f"batch function returned {len(results)} results "

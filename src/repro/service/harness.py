@@ -53,14 +53,21 @@ class HarnessRun:
         """Nearest-rank percentile of the per-request latencies (seconds).
 
         ``percentile(50)`` is the median, ``percentile(99)`` the p99 the
-        streaming benchmark gates on.
+        streaming benchmark gates on.  Nearest-rank is exact on the
+        recorded samples: the returned value is always one of the
+        latencies, never an interpolation.
         """
         if not self.latencies:
             raise ValidationError("this run recorded no latencies")
+        p = float(p)
         if not 0 < p <= 100:
             raise ValidationError("percentile must lie in (0, 100]")
         ordered = sorted(self.latencies)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        # Round before ceiling: binary float products like 29 / 100 * 100
+        # land epsilon above the exact integer rank and would otherwise
+        # ceil one rank too high; clamp guards the p == 100 boundary.
+        rank = math.ceil(round(p / 100.0 * len(ordered), 9))
+        rank = min(max(rank, 1), len(ordered))
         return ordered[rank - 1]
 
     @property

@@ -39,6 +39,7 @@ Operations::
     {"op": "update", "graph": "g", "edges": [[2, 3]],
      "beliefs": [[3, 1, 0.1]]}
     {"op": "stats"}
+    {"op": "metrics", "v": 1}
     {"op": "ping"}
     {"op": "shutdown"}
 
@@ -75,6 +76,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.graphs.graph import Graph
+from repro.obs import iter_registries, obs_enabled, render_prometheus
 from repro.service.service import PropagationService
 from repro.service.spec import QuerySpec
 
@@ -462,6 +464,29 @@ class ServiceSession:
                 f"cache_size={cache['size']}")
         return _Reply("stats", text=text,
                       json_extra={"stats": _json_safe(stats)})
+
+    def _op_metrics(self, request: dict) -> _Reply:
+        """Telemetry dump: default registry merged with the service's own.
+
+        The v1 payload carries the full structured snapshot (per-series
+        labels, histogram buckets); ``"format": "prometheus"`` adds the
+        text exposition under ``"prometheus"``.  The v0 rendering is a
+        one-line summary — scrape the ``--metrics-port`` endpoint or use
+        v1 for actual values.
+        """
+        registries = list(iter_registries(self.service.registry))
+        merged: Dict[str, dict] = {}
+        for registry in registries:
+            for name, entry in registry.snapshot().items():
+                merged.setdefault(name, entry)
+        series = sum(len(entry["series"]) for entry in merged.values())
+        json_extra = {"metrics": _json_safe(merged)}
+        if str(request.get("format", "")) == "prometheus":
+            json_extra["prometheus"] = render_prometheus(registries)
+        return _Reply("metrics",
+                      fields=[("names", len(merged)), ("series", series),
+                              ("enabled", obs_enabled())],
+                      json_extra=json_extra)
 
     def _op_ping(self, request: dict) -> _Reply:
         return _Reply("ping", text="ok pong")

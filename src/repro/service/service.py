@@ -70,6 +70,7 @@ from repro.engine import precision as engine_precision
 from repro.engine import sbp_plan as engine_sbp
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Edge, Graph
+from repro.obs import MetricsRegistry, counter, span
 from repro.service.coalescer import MicroBatcher
 from repro.service.spec import METHODS as _METHODS
 from repro.service.spec import QuerySpec
@@ -86,6 +87,16 @@ __all__ = ["GraphSnapshot", "ShardedSnapshot", "PropagationService"]
 
 #: Legacy keyword arguments of query(), now fields of QuerySpec.
 _SPEC_FIELDS = frozenset(field.name for field in fields(QuerySpec))
+
+#: Process-global telemetry (honours ``REPRO_OBS_DISABLED``); the
+#: request accounting behind ``stats()`` lives on each service's own
+#: always-on registry instead — see ``PropagationService.registry``.
+RESULT_CACHE_LOOKUPS = counter(
+    "repro_service_result_cache_lookups_total",
+    "Result-cache probes on the query path, by outcome (hit/miss).")
+SHARD_REPAIRS = counter(
+    "repro_shard_repairs_total",
+    "Partition maintenance passes, by kind (incremental/full).")
 
 
 @dataclass(frozen=True)
@@ -255,9 +266,26 @@ class PropagationService:
                                     max_batch=max_batch)
         self.results = engine_plan.GraphKeyedCache(
             result_cache_size, ttl_seconds=result_ttl_seconds, clock=clock)
-        self._queries = 0
-        self._updates = 0
-        self._stale_hits = 0
+        # Request accounting lives on a per-instance, *always-on* metrics
+        # registry: these counters back the public ``stats()`` contract
+        # (state, not optional telemetry), so they keep counting under
+        # ``REPRO_OBS_DISABLED=1`` and never mix across service instances.
+        # The ``metrics`` wire op and ``render_prometheus`` export this
+        # registry next to the process-global one.
+        self.registry = MetricsRegistry(always_on=True)
+        self._m_queries = self.registry.counter(
+            "repro_service_queries_total",
+            "Propagation queries accepted, by graph.")
+        self._m_updates = self.registry.counter(
+            "repro_service_updates_total",
+            "Graph mutations applied, by graph.")
+        self._m_stale_hits = self.registry.counter(
+            "repro_service_stale_hits_total",
+            "Queries answered from a staleness-bounded older version, "
+            "by graph.")
+        self._m_snapshot_version = self.registry.gauge(
+            "repro_service_snapshot_version",
+            "Current snapshot version, by graph.")
         self._shards = int(shards)
         self._shard_method = shard_method
         self._shard_executor = shard_executor
@@ -281,7 +309,8 @@ class PropagationService:
             if name in self._graphs:
                 raise ValidationError(f"graph {name!r} is already registered")
             self._graphs[name] = _GraphEntry(snapshot)
-            return snapshot
+        self._m_snapshot_version.set(0, graph=name)
+        return snapshot
 
     def unregister_graph(self, name: str) -> None:
         """Drop a graph, its views, executors and cached results."""
@@ -425,8 +454,7 @@ class PropagationService:
                 old.graph, (old.version, params, coupling_id, digest))
             if cached is not None:
                 if old.version != snapshot.version:
-                    with self._lock:
-                        self._stale_hits += 1
+                    self._m_stale_hits.inc(graph=snapshot.name)
                 return cached
         return None
 
@@ -478,17 +506,21 @@ class PropagationService:
             raise ValidationError(
                 f"explicit beliefs must have shape {expected}, "
                 f"got {explicit.shape}")
-        with self._lock:
-            self._queries += 1
+        self._m_queries.inc(graph=graph_name)
         params = spec.solver_params()
         coupling_id = engine_plan.coupling_key(coupling)
         digest = hashlib.sha1(explicit.tobytes()).digest()
         result_key = (snapshot.version, params, coupling_id, digest)
-        if max_staleness:
-            cached = self._lookup_stale(entry, snapshot, max_staleness,
-                                        params, coupling_id, digest)
-        else:
-            cached = self.results.lookup(snapshot.graph, result_key)
+        with span("service.result_cache_lookup", graph=graph_name,
+                  stale_window=max_staleness) as probe:
+            if max_staleness:
+                cached = self._lookup_stale(entry, snapshot, max_staleness,
+                                            params, coupling_id, digest)
+            else:
+                cached = self.results.lookup(snapshot.graph, result_key)
+            probe.set_tag("outcome", "hit" if cached is not None else "miss")
+        RESULT_CACHE_LOOKUPS.inc(
+            outcome="hit" if cached is not None else "miss")
         if cached is not None:
             return cached
         if family == "sbp":
@@ -534,7 +566,9 @@ class PropagationService:
 
         def dispatch_and_cache(items: List[object]
                                ) -> Sequence[PropagationResult]:
-            results = dispatch(items)
+            with span("service.dispatch", graph=graph_name, family=family,
+                      batch=len(items)):
+                results = dispatch(items)
             for (_, key), result in zip(items, results):
                 result.extra.setdefault("snapshot_version", snapshot.version)
                 self.results.store(snapshot.graph, key, result)
@@ -756,8 +790,13 @@ class PropagationService:
                 # Edge delta on a sharded graph: repair only the shards
                 # owning a delta endpoint instead of re-running the
                 # partitioner — identical blocks, a fraction of the work.
-                repaired = shard_repair.repair_partition(old.partition,
-                                                         graph, edges)
+                with span("shard.repair", graph=graph_name,
+                          edges=len(edges)) as repair_span:
+                    repaired = shard_repair.repair_partition(old.partition,
+                                                             graph, edges)
+                    repair_span.set_tag("repaired_shards",
+                                        len(repaired.repaired_shards))
+                SHARD_REPAIRS.inc(kind="incremental")
                 snapshot = ShardedSnapshot(name=graph_name,
                                            version=old.version + 1,
                                            graph=graph,
@@ -779,8 +818,8 @@ class PropagationService:
                 and entry.cut_drift > self._repartition_drift)
             if schedule_repartition:
                 self._schedule_repartition(graph_name, entry, graph)
-            with self._lock:
-                self._updates += 1
+            self._m_updates.inc(graph=graph_name)
+            self._m_snapshot_version.set(snapshot.version, graph=graph_name)
         if graph is not old.graph:
             # Edge mutations installed a new graph (and, when sharded, a
             # new partition): retire the executor built for the old
@@ -813,11 +852,14 @@ class PropagationService:
     def _background_repartition(self, graph_name: str, entry: "_GraphEntry",
                                 graph: Graph) -> None:
         try:
-            partition = partition_graph(graph, self._shards,
-                                        method=self._shard_method)
+            with span("shard.repartition", graph=graph_name,
+                      shards=self._shards):
+                partition = partition_graph(graph, self._shards,
+                                            method=self._shard_method)
         except Exception:
             return  # a failed background pass must never hurt the service
-        self._swap_partition(graph_name, entry, graph, partition)
+        if self._swap_partition(graph_name, entry, graph, partition):
+            SHARD_REPAIRS.inc(kind="full")
 
     def _swap_partition(self, graph_name: str, entry: "_GraphEntry",
                         graph: Graph, partition: GraphPartition) -> bool:
@@ -914,11 +956,20 @@ class PropagationService:
     # introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
-        """Service counters: traffic, coalescing, caches, graph versions."""
+        """Service counters: traffic, coalescing, caches, graph versions.
+
+        The scalar counters are read off the service's always-on metrics
+        registry (:attr:`registry`) — the same series the ``metrics``
+        wire op and :func:`repro.obs.render_prometheus` export — summed
+        across their per-graph label series and returned as the exact
+        historical ints, so the dict shape predates the telemetry layer
+        unchanged.
+        """
         with self._lock:
             entries = dict(self._graphs)
-            queries, updates = self._queries, self._updates
-            stale_hits = self._stale_hits
+        queries = int(self._m_queries.value())
+        updates = int(self._m_updates.value())
+        stale_hits = int(self._m_stale_hits.value())
         versions = {}
         views = {}
         shard_info = {}

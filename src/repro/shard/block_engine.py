@@ -44,10 +44,15 @@ from repro.engine import backend as array_backend
 from repro.engine import kernels
 from repro.engine import plan as engine_plan
 from repro.exceptions import NotConvergentParametersError, ValidationError
+from repro.obs import counter, span
 from repro.shard.partition import GraphPartition, ShardBlock
 
 __all__ = ["ShardedPlan", "get_sharded_plan", "shard_step",
            "SequentialShardExecutor", "run_sharded_batch"]
+
+#: Shares the series of :data:`repro.engine.batch.SWEEPS`.
+SWEEPS = counter("repro_engine_sweeps_total",
+                 "Propagation sweeps executed, by engine.")
 
 
 class ShardedPlan:
@@ -173,9 +178,15 @@ def get_sharded_plan(partition: GraphPartition, coupling: CouplingMatrix,
         + engine_plan.coupling_key(coupling)
     plan = _sharded_plan_cache.lookup(partition.graph, key_suffix)
     if plan is None or plan.partition is not partition:
-        plan = ShardedPlan(partition, coupling,
-                           echo_cancellation=echo_cancellation, dtype=dtype)
+        with span("engine.plan_build", kind="sharded",
+                  shards=partition.num_shards):
+            plan = ShardedPlan(partition, coupling,
+                               echo_cancellation=echo_cancellation,
+                               dtype=dtype)
+        engine_plan.PLAN_BUILDS.inc(kind="sharded")
         _sharded_plan_cache.store(partition.graph, key_suffix, plan)
+    else:
+        engine_plan.PLAN_CACHE_HITS.inc(kind="sharded")
     return plan
 
 
@@ -376,10 +387,15 @@ def run_sharded_batch(plan: ShardedPlan,
         iterations = np.zeros(q, dtype=int)
         converged = np.zeros(q, dtype=bool)
         frozen: List[Optional[np.ndarray]] = [None] * q
+        sweeps_run = 0
         for _ in range(budget):
             if not fixed_iterations and converged.all():
                 break
-            changes = executor.step()
+            with span("shard.sweep", shards=plan.num_shards,
+                      queries=q) as sweep:
+                changes = executor.step()
+                sweep.set_tag("residual", float(changes.max()))
+            sweeps_run += 1
             for query in np.nonzero(~converged)[0]:
                 iterations[query] += 1
                 histories[query].append(float(changes[query]))
@@ -389,6 +405,8 @@ def run_sharded_batch(plan: ShardedPlan,
                     # keep the remaining queries moving, this one's
                     # beliefs are already final.
                     frozen[query] = executor.beliefs(query)
+        if sweeps_run:
+            SWEEPS.inc(sweeps_run, engine="shard")
         results: List[PropagationResult] = []
         for query in range(q):
             beliefs = frozen[query] if frozen[query] is not None \

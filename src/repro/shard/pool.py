@@ -40,10 +40,17 @@ from typing import List, Optional
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs import counter, span
 from repro.shard import block_engine
 from repro.shard.partition import GraphPartition, ShardBlock
 
 __all__ = ["ShardWorkerPool"]
+
+#: One increment per pooled sweep — each is one halo exchange round
+#: (workers gather their column beliefs from the shared front buffer).
+HALO_EXCHANGES = counter(
+    "repro_shard_halo_exchanges_total",
+    "Halo-exchange rounds completed by the shard worker pool.")
 
 #: Default shared-buffer capacity in stacked columns (q·k); 64 covers a
 #: 16-query batch of 4-class couplings — the service's default max_batch.
@@ -200,7 +207,9 @@ class ShardWorkerPool:
         self._ensure_open()
         if self._plan is None:
             raise ValidationError("load() a batch before stepping")
-        self._broadcast(("step",))
+        with span("shard.halo_exchange", shards=len(self._connections)):
+            self._broadcast(("step",))
+        HALO_EXCHANGES.inc()
         self._parity ^= 1
         residuals = self._residuals[:, :self._num_queries]
         return residuals.max(axis=0) if residuals.size \

@@ -1,0 +1,22 @@
+"""Force telemetry on for the obs suite.
+
+These tests exercise the telemetry layer itself, so they must run the
+*enabled* code paths even when the surrounding environment sets
+``REPRO_OBS_DISABLED=1`` (CI runs the whole tier-1 suite that way to
+prove the rest of the tree is telemetry-independent).  Tests that check
+disabled behaviour flip the switch themselves inside try/finally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import obs_enabled, set_obs_enabled
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_enabled():
+    was_enabled = obs_enabled()
+    set_obs_enabled(True)
+    yield
+    set_obs_enabled(was_enabled)

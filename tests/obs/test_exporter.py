@@ -1,0 +1,95 @@
+"""Prometheus text exposition and the /metrics HTTP endpoint."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+from repro.obs import (
+    MetricsRegistry,
+    render_prometheus,
+    start_metrics_server,
+)
+from repro.obs.exporter import CONTENT_TYPE
+
+
+def _registry_with_samples() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("x_requests_total", "Requests.").inc(3, graph="g")
+    registry.gauge("x_version", "Version.").set(2)
+    registry.histogram("x_seconds", "Latency.",
+                       buckets=[0.1, 1.0]).observe(0.05)
+    registry.counter("x_unhit_total", "Never incremented.")
+    return registry
+
+
+class TestRender:
+    def test_headers_and_samples(self):
+        text = render_prometheus([_registry_with_samples()])
+        lines = text.splitlines()
+        assert "# HELP x_requests_total Requests." in lines
+        assert "# TYPE x_requests_total counter" in lines
+        assert 'x_requests_total{graph="g"} 3' in lines
+        assert "# TYPE x_version gauge" in lines
+        assert "x_version 2" in lines
+
+    def test_histogram_expansion_is_cumulative(self):
+        text = render_prometheus([_registry_with_samples()])
+        lines = text.splitlines()
+        assert 'x_seconds_bucket{le="0.1"} 1' in lines
+        assert 'x_seconds_bucket{le="1.0"} 1' in lines
+        assert 'x_seconds_bucket{le="+Inf"} 1' in lines
+        assert "x_seconds_sum 0.05" in lines
+        assert "x_seconds_count 1" in lines
+
+    def test_registered_but_unhit_metric_exposes_zero(self):
+        text = render_prometheus([_registry_with_samples()])
+        assert "x_unhit_total 0" in text.splitlines()
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_esc_total").inc(name='a"b\\c\nd')
+        text = render_prometheus([registry])
+        assert r'x_esc_total{name="a\"b\\c\nd"} 1' in text.splitlines()
+
+    def test_multiple_registries_concatenate(self):
+        first = MetricsRegistry()
+        first.counter("x_one_total").inc()
+        second = MetricsRegistry()
+        second.counter("x_two_total").inc(2)
+        lines = render_prometheus([first, second]).splitlines()
+        assert "x_one_total 1" in lines
+        assert "x_two_total 2" in lines
+
+    def test_default_is_the_global_registry(self):
+        from repro.obs import counter
+
+        counter("repro_engine_sweeps_total")
+        assert "repro_engine_sweeps_total" in render_prometheus()
+
+
+class TestHTTPServer:
+    def test_scrape_round_trip(self):
+        server = start_metrics_server(0, registries=[
+            _registry_with_samples()])
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                body = response.read().decode("utf-8")
+            assert 'x_requests_total{graph="g"} 3' in body
+        finally:
+            server.stop()
+
+    def test_unknown_path_is_404(self):
+        server = start_metrics_server(0, registries=[MetricsRegistry()])
+        try:
+            url = f"http://127.0.0.1:{server.port}/nope"
+            try:
+                urllib.request.urlopen(url, timeout=5)
+                raise AssertionError("expected HTTP 404")
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+        finally:
+            server.stop()

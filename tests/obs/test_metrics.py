@@ -1,0 +1,144 @@
+"""The metrics registry: counters, gauges, histograms, labels, switches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    MetricsRegistry,
+    counter,
+    obs_enabled,
+    set_obs_enabled,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("t_requests_total", "help")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_are_independent_series(self, registry):
+        c = registry.counter("t_by_graph_total")
+        c.inc(graph="a")
+        c.inc(graph="a")
+        c.inc(graph="b")
+        assert c.value(graph="a") == 2.0
+        assert c.value(graph="b") == 1.0
+        assert c.value(graph="missing") == 0.0
+        assert c.value() == 3.0  # no labels = sum over series
+
+    def test_label_order_does_not_matter(self, registry):
+        c = registry.counter("t_two_labels_total")
+        c.inc(graph="g", engine="batch")
+        c.inc(engine="batch", graph="g")
+        assert c.value(graph="g", engine="batch") == 2.0
+
+    def test_rejects_negative_increment(self, registry):
+        c = registry.counter("t_mono_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_get_or_create_returns_same_object(self, registry):
+        first = registry.counter("t_shared_total", "first help wins")
+        second = registry.counter("t_shared_total", "ignored")
+        assert first is second
+        assert first.help == "first help wins"
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("t_kind")
+        with pytest.raises(ValueError):
+            registry.gauge("t_kind")
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("t_version")
+        g.set(3, graph="g")
+        assert g.value(graph="g") == 3.0
+        g.inc(-1, graph="g")  # gauges may go down
+        assert g.value(graph="g") == 2.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        h = registry.histogram("t_seconds", buckets=[0.01, 0.1, 1.0])
+        h.observe(0.005)
+        h.observe(0.05)
+        h.observe(5.0)  # above every bound: only count/sum, no bucket
+        assert h.count() == 3
+        assert h.sum_value() == pytest.approx(5.055)
+        ((labels, series),) = h.labeled_values()
+        assert labels == {}
+        assert series.bucket_counts == [1, 1, 0]
+
+    def test_default_buckets_are_sorted(self, registry):
+        h = registry.histogram("t_default_seconds")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_labelled_series(self, registry):
+        h = registry.histogram("t_by_span_seconds", buckets=[1.0])
+        h.observe(0.5, span="a")
+        h.observe(0.5, span="b")
+        assert h.count(span="a") == 1
+        assert h.count() == 2
+
+
+class TestRegistry:
+    def test_names_sorted_and_reset_keeps_definitions(self, registry):
+        registry.counter("t_b_total")
+        registry.counter("t_a_total").inc()
+        assert registry.names() == ["t_a_total", "t_b_total"]
+        registry.reset()
+        assert registry.names() == ["t_a_total", "t_b_total"]
+        assert registry.counter("t_a_total").value() == 0.0
+
+    def test_snapshot_is_json_safe(self, registry):
+        import json
+
+        registry.counter("t_c_total").inc(graph="g")
+        registry.histogram("t_h_seconds", buckets=[1.0]).observe(0.5)
+        snapshot = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["t_c_total"]["series"] == [
+            {"labels": {"graph": "g"}, "value": 1.0}]
+        assert round_tripped["t_h_seconds"]["buckets"] == [1.0]
+        assert round_tripped["t_h_seconds"]["series"][0]["count"] == 1
+
+
+class TestEnabledSwitch:
+    def test_disabled_registry_drops_writes(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_switch_total")
+        assert obs_enabled()
+        try:
+            set_obs_enabled(False)
+            c.inc()
+            assert c.value() == 0.0
+        finally:
+            set_obs_enabled(True)
+        c.inc()
+        assert c.value() == 1.0
+
+    def test_always_on_registry_ignores_the_switch(self):
+        registry = MetricsRegistry(always_on=True)
+        c = registry.counter("t_contract_total")
+        try:
+            set_obs_enabled(False)
+            c.inc()
+        finally:
+            set_obs_enabled(True)
+        assert c.value() == 1.0
+
+    def test_module_helpers_use_the_global_registry(self):
+        c = counter("t_global_total")
+        assert REGISTRY.get("t_global_total") is c

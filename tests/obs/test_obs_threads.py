@@ -1,0 +1,90 @@
+"""Thread-safety hammer: concurrent writers against a rendering reader.
+
+The registry's contract is *exact* totals under concurrency — these are
+the counters ``PropagationService.stats()`` reports, so a lost update is
+a wrong answer, not just noisy telemetry.  N writer threads hammer one
+counter, one gauge and one histogram (labelled and unlabelled series)
+while a reader renders the registry to Prometheus text in a loop; at the
+end every total must match the exact arithmetic sum of what the writers
+did.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import MetricsRegistry, render_prometheus
+
+WRITERS = 8
+ITERATIONS = 2000
+
+
+def test_exact_totals_under_concurrent_writers_and_reader():
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer_total", "Hammered counter.")
+    gauge = registry.gauge("hammer_gauge", "Hammered gauge.")
+    hist = registry.histogram("hammer_seconds", "Hammered histogram.",
+                              buckets=[0.5, 1.0])
+    start = threading.Barrier(WRITERS + 1)
+    stop_reading = threading.Event()
+    reader_error: list = []
+
+    def writer(worker: int) -> None:
+        start.wait()
+        for i in range(ITERATIONS):
+            counter.inc()
+            counter.inc(2, worker=worker)
+            gauge.inc(1)
+            hist.observe(0.25 if i % 2 == 0 else 0.75, worker=worker)
+
+    def reader() -> None:
+        start.wait()
+        try:
+            while not stop_reading.is_set():
+                text = render_prometheus([registry])
+                # The render must always be internally consistent.
+                assert "hammer_total" in text
+        except BaseException as exc:  # pragma: no cover - failure path
+            reader_error.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(w,))
+               for w in range(WRITERS)]
+    reading = threading.Thread(target=reader)
+    for thread in threads:
+        thread.start()
+    reading.start()
+    for thread in threads:
+        thread.join()
+    stop_reading.set()
+    reading.join()
+
+    assert not reader_error
+    # Exact to the unit: no lost update under WRITERS concurrent threads.
+    assert counter.value() == WRITERS * ITERATIONS * 3
+    for worker in range(WRITERS):
+        assert counter.value(worker=worker) == ITERATIONS * 2
+    assert gauge.value() == WRITERS * ITERATIONS
+    assert hist.count() == WRITERS * ITERATIONS
+    for worker in range(WRITERS):
+        ((_, series),) = [
+            item for item in hist.labeled_values()
+            if item[0] == {"worker": str(worker)}]
+        assert series.bucket_counts == [ITERATIONS // 2, ITERATIONS // 2]
+
+
+def test_metric_creation_race_returns_one_object():
+    registry = MetricsRegistry()
+    results: list = []
+    start = threading.Barrier(WRITERS)
+
+    def create() -> None:
+        start.wait()
+        results.append(registry.counter("race_total"))
+
+    threads = [threading.Thread(target=create) for _ in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(results) == WRITERS
+    assert all(metric is results[0] for metric in results)

@@ -1,0 +1,85 @@
+"""Convergence profiles: residual trajectories next to the Lemma 8 radius."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import get_plan, run_batch, run_sbp_batch
+from repro.obs.profile import _tail_rate
+
+
+class TestBatchProfile:
+    def test_profile_rides_in_result_extra(self, binary_chain_workload):
+        graph, coupling, explicit = binary_chain_workload
+        plan = get_plan(graph, coupling)
+        (result,) = run_batch(plan, [explicit], profile=True)
+        profile = result.extra["profile"]
+        assert profile["engine"] == "batch"
+        assert profile["iterations"] == result.iterations
+        assert profile["converged"] is True
+        assert len(profile["residuals"]) >= 1
+        assert profile["spectral_radius"] == pytest.approx(
+            plan.update_spectral_radius())
+        assert profile["exactly_convergent"] is True
+
+    def test_geometric_rate_tracks_the_radius(self, binary_chain_workload):
+        graph, coupling, explicit = binary_chain_workload
+        plan = get_plan(graph, coupling)
+        (result,) = run_batch(plan, [explicit], profile=True)
+        profile = result.extra["profile"]
+        # Geometric decay at roughly rho per sweep (Lemma 8): the observed
+        # tail ratio may only undershoot the exact radius, never exceed a
+        # loose ceiling above it.
+        assert 0.0 < profile["geometric_rate"] <= \
+            profile["spectral_radius"] * 1.5 + 1e-9
+
+    def test_profile_off_by_default(self, binary_chain_workload):
+        graph, coupling, explicit = binary_chain_workload
+        plan = get_plan(graph, coupling)
+        (result,) = run_batch(plan, [explicit])
+        assert "profile" not in result.extra
+
+    def test_residual_trajectory_is_decreasing_at_the_tail(
+            self, binary_chain_workload):
+        graph, coupling, explicit = binary_chain_workload
+        plan = get_plan(graph, coupling)
+        (result,) = run_batch(plan, [explicit], profile=True)
+        residuals = result.extra["profile"]["residuals"]
+        assert residuals[-1] <= residuals[0]
+        assert residuals[-1] <= result.extra["profile"]["tolerance"]
+
+
+class TestSbpProfile:
+    def test_records_traversal_shape(self, sbp_example, fraud_coupling,
+                                     torus_explicit):
+        explicit = torus_explicit[: sbp_example.num_nodes]
+        (result,) = run_sbp_batch(sbp_example, fraud_coupling, [explicit],
+                                  profile=True)
+        profile = result.extra["profile"]
+        assert profile["engine"] == "sbp"
+        assert profile["converged"] is True
+        assert profile["residuals"] == []
+        assert profile["max_level"] >= 1
+        assert profile["max_width"] >= 1
+        assert profile["edges_touched"] >= 1
+        assert profile["labeled_nodes"] == 3
+
+    def test_profile_off_by_default(self, sbp_example, fraud_coupling,
+                                    torus_explicit):
+        explicit = torus_explicit[: sbp_example.num_nodes]
+        (result,) = run_sbp_batch(sbp_example, fraud_coupling, [explicit])
+        assert "profile" not in result.extra
+
+
+class TestTailRate:
+    def test_exact_geometric_sequence(self):
+        assert _tail_rate([1.0, 0.5, 0.25, 0.125]) == pytest.approx(0.5)
+
+    def test_skips_zero_denominators(self):
+        # The (0.0 -> 0.0) pair is skipped; the (1.0 -> 0.0) drop counts.
+        assert _tail_rate([1.0, 0.0, 0.0]) == 0.0
+        assert _tail_rate([0.0, 0.0, 0.0]) is None
+
+    def test_too_short_yields_none(self):
+        assert _tail_rate([1.0]) is None
+        assert _tail_rate([]) is None

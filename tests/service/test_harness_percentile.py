@@ -1,0 +1,58 @@
+"""Nearest-rank percentile on harness runs: exact ranks, edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.service.harness import HarnessRun
+
+
+def _run(latencies) -> HarnessRun:
+    return HarnessRun(results=[None] * len(latencies), elapsed_seconds=1.0,
+                      latencies=list(latencies))
+
+
+class TestPercentile:
+    def test_median_and_extremes(self):
+        run = _run([0.4, 0.1, 0.3, 0.2])  # unsorted on purpose
+        assert run.percentile(50) == 0.2
+        assert run.percentile(100) == 0.4
+        assert run.percentile(0.001) == 0.1
+
+    def test_single_sample_answers_every_percentile(self):
+        run = _run([0.7])
+        for p in (0.5, 1, 50, 99, 100):
+            assert run.percentile(p) == 0.7
+
+    def test_float_rank_products_do_not_overshoot(self):
+        # 29 / 100 * 100 is 29.000000000000004 in binary floating point;
+        # a naive ceil lands on rank 30.  Nearest-rank demands rank 29.
+        run = _run([float(i) for i in range(1, 101)])
+        assert run.percentile(29) == 29.0
+        assert run.percentile(70) == 70.0
+        assert run.percentile(99) == 99.0
+        assert run.percentile(100) == 100.0
+
+    def test_result_is_always_a_recorded_sample(self):
+        latencies = [0.013, 0.002, 0.8, 0.044, 0.1]
+        run = _run(latencies)
+        for p in (1, 10, 33.3, 50, 66.6, 90, 99, 100):
+            assert run.percentile(p) in latencies
+
+    def test_out_of_range_percentile_rejected(self):
+        run = _run([0.1])
+        for p in (0, -1, 100.001, float("nan")):
+            with pytest.raises(ValidationError):
+                run.percentile(p)
+
+    def test_empty_run_raises_clean_error(self):
+        run = _run([])
+        with pytest.raises(ValidationError, match="no latencies"):
+            run.percentile(50)
+        with pytest.raises(ValidationError, match="no latencies"):
+            _ = run.p99
+
+    def test_p99_property_matches_percentile(self):
+        run = _run([float(i) for i in range(1, 201)])
+        assert run.p99 == run.percentile(99.0) == 198.0

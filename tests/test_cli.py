@@ -344,6 +344,7 @@ class TestServeCommand:
         assert args.max_batch == 16
         assert args.result_ttl == 300.0
         assert args.result_cache_size == 256
+        assert args.metrics_port is None
 
     @pytest.mark.parametrize("flags", [
         ["--window-ms", "-1"],
@@ -395,6 +396,105 @@ class TestServeCommand:
         assert lines[2].startswith("ok query method=LinBP")
         assert lines[-1] == "ok bye"
         assert "reading JSON requests" in captured.err
+
+    def test_serve_metrics_port_starts_and_stops_endpoint(self, capsys,
+                                                          monkeypatch):
+        import io
+        import sys
+
+        requests = json.dumps({"op": "shutdown"})
+        monkeypatch.setattr(sys, "stdin", io.StringIO(requests))
+        exit_code = main(["serve", "--window-ms", "0", "--metrics-port", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "metrics on http://127.0.0.1:" in captured.err
+
+
+class TestStatsCommand:
+    @pytest.fixture
+    def server(self):
+        import threading
+
+        from repro.service import ServiceSession
+        from repro.service.server import LineProtocolServer
+
+        server = LineProtocolServer(("127.0.0.1", 0),
+                                    ServiceSession(window_seconds=0.0))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def _load_and_query(self, server):
+        import socket
+
+        with socket.create_connection(server.server_address[:2],
+                                      timeout=10) as connection:
+            stream = connection.makefile("rw", encoding="utf-8")
+            for request in (
+                    {"op": "load_graph", "name": "g", "edges": [[0, 1], [1, 2]]},
+                    {"op": "load_coupling", "name": "h",
+                     "stochastic": [[0.9, 0.1], [0.1, 0.9]], "epsilon": 0.2},
+                    {"op": "query", "graph": "g", "coupling": "h",
+                     "beliefs": [[0, 0, 0.1]]}):
+                stream.write(json.dumps(request) + "\n")
+                stream.flush()
+                assert stream.readline().startswith("ok")
+
+    def test_stats_requires_port(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["stats"])
+        assert excinfo.value.code == 2
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats", "--port", "7171"])
+        assert args.host == "127.0.0.1"
+        assert args.timeout == 5.0
+        assert not args.metrics
+        assert not args.prometheus
+        assert not args.json
+
+    def test_stats_tree_from_live_server(self, server, capsys):
+        self._load_and_query(server)
+        port = str(server.server_address[1])
+        exit_code = main(["stats", "--port", port])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "queries: 1" in out
+
+    def test_metrics_prometheus_from_live_server(self, server, capsys):
+        self._load_and_query(server)
+        port = str(server.server_address[1])
+        exit_code = main(["stats", "--port", port, "--metrics",
+                          "--prometheus"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "# TYPE repro_service_queries_total counter" in out
+        assert 'repro_service_queries_total{graph="g"} 1' in out
+
+    def test_stats_json_is_the_raw_reply(self, server, capsys):
+        port = str(server.server_address[1])
+        exit_code = main(["stats", "--port", port, "--json"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        reply = json.loads(out)
+        assert reply["ok"] is True
+        assert "stats" in reply
+
+    def test_unreachable_server_reports_error(self, capsys):
+        import socket
+
+        # Grab a free port, close it, and point the CLI at the dead port.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        exit_code = main(["stats", "--port", str(dead_port),
+                          "--timeout", "0.5"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot reach" in captured.err
 
 
 class TestExperimentCommand:

@@ -23,7 +23,8 @@ def _check_docs_module():
 
 def test_required_documentation_exists():
     for relative in ("README.md", "docs/architecture.md",
-                     "docs/performance.md", "docs/api.md"):
+                     "docs/performance.md", "docs/api.md",
+                     "docs/observability.md"):
         assert (ROOT / relative).exists(), f"{relative} is missing"
 
 
@@ -44,6 +45,12 @@ def test_every_service_export_is_documented():
     check_docs = _check_docs_module()
     missing = check_docs.undocumented_service_api(ROOT)
     assert missing == [], "\n".join(missing)
+
+
+def test_metric_catalog_names_exist_in_registries():
+    check_docs = _check_docs_module()
+    unknown = check_docs.unknown_catalog_metrics(ROOT)
+    assert unknown == [], "\n".join(unknown)
 
 
 def test_check_docs_script_passes_end_to_end():
