@@ -19,18 +19,13 @@ the ratios goes unnoticed.  This script closes that gap:
   ≥ Nx sequential, coalesced ≥ Nx one-at-a-time) are trustworthy, so the
   smoke gate is "the ratio benchmarks pass at small sizes", nothing
   machine-dependent;
-* ``--suite`` selects the benchmark suite: ``engine`` (the default —
-  SBP/batch/service kernels against ``BENCH_sbp.json``), ``shard``
-  (the sharded-propagation benchmark against ``BENCH_shard.json``,
-  whose timings additionally depend on the host's core count),
-  ``sql`` (the SQL execution backend against ``BENCH_sql.json`` —
-  SQLite-executed LinBP vs the pure-Python relational engine), or
-  ``precision`` (the mixed-precision kernel layer against
-  ``BENCH_precision.json`` — float32 vs float64 SpMM throughput), or
-  ``obs`` (telemetry overhead against ``BENCH_obs.json`` — the
-  instrumented query path gated at <5% over ``REPRO_OBS_DISABLED``).
-  ``--suite all`` runs every suite in sequence; an unknown suite name
-  exits non-zero listing the valid choices.
+* ``--suite`` selects the benchmark suite.  Suites live in a single
+  registry (:func:`register_suite`): each registration names its pytest
+  targets, its committed baseline file, and a one-line description —
+  and the ``--suite`` help text, the ``all`` expansion and the
+  unknown-suite error all derive from that registry, so a suite cannot
+  be half-registered.  ``--suite all`` runs every suite in sequence; an
+  unknown suite name exits non-zero listing the valid choices.
 
 A missing, malformed or incomplete baseline fails *before* the
 benchmark run with a non-zero exit and an actionable message.
@@ -58,48 +53,88 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List
 
-#: Benchmark suites: pytest targets plus the baseline file they record
-#: into.  ``engine`` is the historical default (BENCH_sbp.json); the
-#: ``shard`` suite gates the sharded-propagation kernels separately
-#: (BENCH_shard.json) because its timings depend on core count, not
-#: just the host's single-thread speed; the ``sql`` suite gates the SQL
-#: execution backend (BENCH_sql.json), whose timings depend on the
-#: linked SQLite library as well as the host.
-SUITES = {
-    "engine": {
-        "targets": [
-            "benchmarks/test_bench_sbp_engine.py",
-            "benchmarks/test_bench_engine_batch.py",
-            "benchmarks/test_bench_service.py",
-        ],
-        "baseline": "BENCH_sbp.json",
-    },
-    "shard": {
-        "targets": ["benchmarks/test_bench_shard.py"],
-        "baseline": "BENCH_shard.json",
-    },
-    "sql": {
-        "targets": ["benchmarks/test_bench_sql_backend.py"],
-        "baseline": "BENCH_sql.json",
-    },
-    "precision": {
-        "targets": ["benchmarks/test_bench_precision.py"],
-        "baseline": "BENCH_precision.json",
-    },
-    "stream": {
-        "targets": ["benchmarks/test_bench_stream.py"],
-        "baseline": "BENCH_stream.json",
-    },
-    "obs": {
-        "targets": ["benchmarks/test_bench_obs.py"],
-        "baseline": "BENCH_obs.json",
-    },
-}
-#: Pseudo-suite: run every suite above in sequence.
+#: Pseudo-suite: run every registered suite in sequence.
 ALL_SUITES = "all"
+
+#: The single suite registry: ``--suite`` resolution, the ``all``
+#: expansion, the help text and the unknown-suite error all read from
+#: here, so registering a suite *is* wiring it everywhere.
+SUITES: Dict[str, dict] = {}
+
+
+def register_suite(name: str, targets: List[str], baseline: str,
+                   description: str) -> None:
+    """Register one benchmark suite (targets + committed baseline file).
+
+    Every suite must come through here — tests assert that each
+    ``BENCH_*.json`` at the repository root belongs to exactly one
+    registered suite and that every target file exists, so a forgotten
+    or half-done registration is a test failure, not a silent omission.
+    """
+    if name == ALL_SUITES:
+        raise ValueError(f"{ALL_SUITES!r} is the run-everything "
+                         "pseudo-suite; pick another name")
+    if name in SUITES:
+        raise ValueError(f"benchmark suite {name!r} is already registered")
+    if not targets or not baseline or not description:
+        raise ValueError(f"suite {name!r} needs targets, a baseline file "
+                         "and a description")
+    SUITES[name] = {"targets": list(targets), "baseline": baseline,
+                    "description": description}
+
+
+register_suite(
+    "engine",
+    ["benchmarks/test_bench_sbp_engine.py",
+     "benchmarks/test_bench_engine_batch.py",
+     "benchmarks/test_bench_service.py"],
+    "BENCH_sbp.json",
+    "SBP/batched-LinBP/service kernels (the historical default)")
+register_suite(
+    "shard",
+    ["benchmarks/test_bench_shard.py"],
+    "BENCH_shard.json",
+    "sharded propagation (timings depend on core count)")
+register_suite(
+    "sql",
+    ["benchmarks/test_bench_sql_backend.py"],
+    "BENCH_sql.json",
+    "SQL execution backends (timings depend on the linked SQLite)")
+register_suite(
+    "precision",
+    ["benchmarks/test_bench_precision.py"],
+    "BENCH_precision.json",
+    "mixed-precision kernels (float32 vs float64 SpMM throughput)")
+register_suite(
+    "stream",
+    ["benchmarks/test_bench_stream.py"],
+    "BENCH_stream.json",
+    "streaming mixed update/query traffic with a p99 gate")
+register_suite(
+    "obs",
+    ["benchmarks/test_bench_obs.py"],
+    "BENCH_obs.json",
+    "telemetry overhead (<5% over REPRO_OBS_DISABLED)")
+register_suite(
+    "tune",
+    ["benchmarks/test_bench_tune.py"],
+    "BENCH_tune.json",
+    "ablation/autotune sweeps (determinism + no-worse-than-default "
+    "gates)")
+
 DEFAULT_SUITE = "engine"
 DEFAULT_TARGETS = SUITES[DEFAULT_SUITE]["targets"]
 DEFAULT_BASELINE = SUITES[DEFAULT_SUITE]["baseline"]
+
+
+def suite_help() -> str:
+    """The ``--suite`` help text, derived from the registry."""
+    lines = "; ".join(
+        f"'{name}' -> {suite['baseline']} ({suite['description']})"
+        for name, suite in sorted(SUITES.items()))
+    return (f"benchmark suite: default targets and baseline file "
+            f"({lines}), or '{ALL_SUITES}' to run every suite in "
+            f"sequence")
 DEFAULT_THRESHOLD = 0.20
 #: Absolute slowdown (seconds) a kernel must additionally exceed before the
 #: percentage gate fails it — scheduler jitter routinely exceeds 20% on
@@ -308,14 +343,7 @@ def main(argv: List[str] | None = None) -> int:
                              "benchmarks' ratio assertions - no absolute "
                              "baselines (for shared CI runners)")
     parser.add_argument("--suite", default=DEFAULT_SUITE,
-                        help="benchmark suite: default targets and baseline "
-                             "file ('engine' -> BENCH_sbp.json, 'shard' -> "
-                             "BENCH_shard.json, 'sql' -> BENCH_sql.json, "
-                             "'precision' -> BENCH_precision.json, "
-                             "'stream' -> BENCH_stream.json, "
-                             "'obs' -> BENCH_obs.json), or "
-                             "'all' to run every suite in sequence "
-                             f"(valid: {', '.join(sorted(SUITES))}, all)")
+                        help=suite_help())
     parser.add_argument("--baseline", default=None,
                         help="baseline file path (default: the suite's "
                              f"baseline, e.g. {DEFAULT_BASELINE})")

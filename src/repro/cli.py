@@ -338,13 +338,37 @@ def _command_backends(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceSession
 
-    session = ServiceSession(
-        window_seconds=args.window_ms / 1000.0,
-        max_batch=args.max_batch,
-        result_cache_size=args.result_cache_size,
-        result_ttl_seconds=args.result_ttl if args.result_ttl > 0 else None,
-        snapshot_history=args.snapshot_history,
-    )
+    if args.config is not None:
+        # A tuned artifact fixes the whole service configuration; the
+        # per-knob flags would silently fight it, so refuse the mix.
+        flag_defaults = {"window_ms": 2.0, "max_batch": 16,
+                         "result_cache_size": 256, "result_ttl": 300.0,
+                         "snapshot_history": 4}
+        overridden = [f"--{name.replace('_', '-')}"
+                      for name, default in flag_defaults.items()
+                      if getattr(args, name) != default]
+        if overridden:
+            print(f"error: --config replaces {', '.join(overridden)}; "
+                  "pass either the artifact or the individual flags",
+                  file=sys.stderr)
+            return 2
+        from repro.service import PropagationService
+
+        with open(args.config, "r", encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        service = PropagationService.from_config(artifact)
+        session = ServiceSession(service)
+        print(f"repro serve: configuration from {args.config}",
+              file=sys.stderr)
+    else:
+        session = ServiceSession(
+            window_seconds=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            result_cache_size=args.result_cache_size,
+            result_ttl_seconds=args.result_ttl if args.result_ttl > 0
+            else None,
+            snapshot_history=args.snapshot_history,
+        )
     metrics_server = None
     if args.metrics_port is not None:
         from repro.obs import iter_registries, start_metrics_server
@@ -405,6 +429,109 @@ def _run_serve_frontend(args: argparse.Namespace,
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _tune_workload(args: argparse.Namespace):
+    """Build the seeded workload ``repro tune`` / ``repro ablate`` measure.
+
+    Either a real graph (``--graph``, with ``--coupling``) or — the
+    benchmark default — a seeded synthetic graph in the streaming
+    benchmark's shape.  ``REPRO_BENCH_SMOKE=1`` shrinks the synthetic
+    default the same way it shrinks the committed benchmarks.
+    """
+    import os
+
+    from repro.coupling.presets import synthetic_residual_matrix
+    from repro.tune import make_engine_workload, make_mixed_workload
+
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+    if args.graph is not None:
+        graph = graph_io.read_edge_list(args.graph, num_nodes=args.num_nodes)
+        graph_name = args.graph.stem
+    else:
+        from repro.graphs.generators import random_graph
+
+        nodes = args.nodes if args.nodes is not None else \
+            (160 if smoke else 400)
+        graph = random_graph(nodes, args.edge_probability, seed=args.seed)
+        graph_name = f"random-{nodes}"
+    if args.coupling is not None:
+        coupling = _load_coupling(args.coupling, args.epsilon)
+    else:
+        coupling = synthetic_residual_matrix(epsilon=args.epsilon)
+    requests_per_client = args.requests_per_client if \
+        args.requests_per_client is not None else (4 if smoke else 8)
+    if args.workload == "engine":
+        return make_engine_workload(
+            graph, coupling, seed=args.seed,
+            max_iterations=args.max_iterations, graph_name=graph_name)
+    return make_mixed_workload(
+        graph, coupling, seed=args.seed, num_clients=args.clients,
+        requests_per_client=requests_per_client,
+        max_iterations=args.max_iterations, graph_name=graph_name)
+
+
+def _tune_progress(record) -> None:
+    detail = ""
+    if record.metrics is not None:
+        detail = (f" p99 {record.metrics.p99_seconds * 1000.0:.2f}ms, "
+                  f"{record.metrics.throughput_rps:.1f} req/s")
+    elif record.error:
+        detail = f" {record.error.splitlines()[-1]}"
+    print(f"  {record.run_id} {record.status}{detail}", file=sys.stderr)
+
+
+def _tune_runner(args: argparse.Namespace):
+    from repro.tune import AblationRunner
+
+    workload = _tune_workload(args)
+    print(f"workload: {workload.description}", file=sys.stderr)
+    return AblationRunner(workload,
+                          run_timeout_seconds=args.run_timeout,
+                          progress=_tune_progress)
+
+
+def _command_ablate(args: argparse.Namespace) -> int:
+    from repro.tune import build_report
+
+    runner = _tune_runner(args)
+    baseline, runs = runner.run_ablation()
+    report = build_report(baseline, runs,
+                          workload=runner.workload.description)
+    if args.json is not None:
+        args.json.write_text(json.dumps(report.as_dict(), indent=2,
+                                        sort_keys=True) + "\n")
+        print(f"ablation report written to {args.json}", file=sys.stderr)
+    sys.stdout.write(report.render())
+    return 0
+
+
+def _command_tune(args: argparse.Namespace) -> int:
+    from repro.tune import select_config
+
+    runner = _tune_runner(args)
+    selection = select_config(runner, rounds=args.rounds,
+                              margin=args.margin)
+    artifact = selection.artifact(graph_name=runner.workload.graph_name,
+                                  workload=runner.workload.description)
+    args.output.write_text(json.dumps(artifact, indent=2, sort_keys=True)
+                           + "\n")
+    base, best = selection.baseline.metrics, selection.selected.metrics
+    print(f"baseline {selection.baseline.run_id}: "
+          f"p99 {base.p99_seconds * 1000.0:.2f}ms, "
+          f"{base.throughput_rps:.1f} req/s")
+    print(f"selected {selection.run_id}: "
+          f"p99 {best.p99_seconds * 1000.0:.2f}ms, "
+          f"{best.throughput_rps:.1f} req/s"
+          + ("" if selection.improved else " (default config kept)"))
+    changed = {key: value for key, value in selection.config.items()
+               if runner.space.default_config()[key] != value}
+    if changed:
+        print("changes vs default: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(changed.items())))
+    print(f"serving config written to {args.output} "
+          f"(use: repro serve --config {args.output})")
     return 0
 
 
@@ -602,7 +729,80 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-port", type=_non_negative_int, default=None,
                        help="also serve Prometheus text metrics over HTTP on "
                             "this port (0 = pick a free port; default: off)")
+    serve.add_argument("--config", type=Path, default=None,
+                       help="serving-config artifact (from 'repro tune') "
+                            "fixing the service and default query settings; "
+                            "replaces the per-knob flags")
     serve.set_defaults(handler=_command_serve)
+
+    def add_tune_workload_options(command):
+        command.add_argument("--graph", type=Path, default=None,
+                             help="edge list file to tune against (default: "
+                                  "a seeded synthetic benchmark graph)")
+        command.add_argument("--num-nodes", type=int, default=None,
+                             help="with --graph: total number of nodes "
+                                  "(default: inferred)")
+        command.add_argument("--coupling", type=Path, default=None,
+                             help="coupling JSON (default: the synthetic "
+                                  "3-class residual matrix)")
+        command.add_argument("--epsilon", type=float, default=0.005,
+                             help="coupling scale epsilon_H (default: 0.005)")
+        command.add_argument("--nodes", type=_positive_int, default=None,
+                             help="synthetic graph size (default: 400, or "
+                                  "160 under REPRO_BENCH_SMOKE=1)")
+        command.add_argument("--edge-probability", type=_non_negative_float,
+                             default=0.08,
+                             help="synthetic graph edge probability "
+                                  "(default: 0.08)")
+        command.add_argument("--seed", type=_non_negative_int, default=0,
+                             help="workload seed; fixing it makes run IDs, "
+                                  "rankings and the selected config "
+                                  "reproducible (default: 0)")
+        command.add_argument("--workload", choices=["mixed", "engine"],
+                             default="mixed",
+                             help="'mixed' drives a closed-loop update/query "
+                                  "service; 'engine' times pure run_batch "
+                                  "calls (numeric knobs only; default: "
+                                  "mixed)")
+        command.add_argument("--clients", type=_positive_int, default=8,
+                             help="closed-loop clients of the mixed "
+                                  "workload (default: 8)")
+        command.add_argument("--requests-per-client", type=_positive_int,
+                             default=None,
+                             help="requests each client issues (default: 8, "
+                                  "or 4 under REPRO_BENCH_SMOKE=1)")
+        command.add_argument("--max-iterations", type=_positive_int,
+                             default=50,
+                             help="solver iteration budget per query "
+                                  "(default: 50)")
+        command.add_argument("--run-timeout", type=_non_negative_float,
+                             default=120.0,
+                             help="wall-clock budget per measured config in "
+                                  "seconds; a config exceeding it is "
+                                  "recorded as timed out (default: 120)")
+
+    ablate = subparsers.add_parser(
+        "ablate", help="one-factor ablation over the serving knob space: "
+                       "rank each knob's importance on a workload")
+    add_tune_workload_options(ablate)
+    ablate.add_argument("--json", type=Path, default=None,
+                        help="also write the report as JSON to this path")
+    ablate.set_defaults(handler=_command_ablate)
+
+    tune = subparsers.add_parser(
+        "tune", help="coordinate-descent autotune: select a serving config "
+                     "measured no worse than the default")
+    add_tune_workload_options(tune)
+    tune.add_argument("--rounds", type=_positive_int, default=2,
+                      help="coordinate-descent passes over the knob space "
+                           "(default: 2)")
+    tune.add_argument("--margin", type=_non_negative_float, default=0.02,
+                      help="minimum relative improvement to accept a move "
+                           "(default: 0.02)")
+    tune.add_argument("--output", type=Path, default=Path("tuned.json"),
+                      help="where to write the serving-config artifact "
+                           "(default: tuned.json)")
+    tune.set_defaults(handler=_command_tune)
 
     stats = subparsers.add_parser(
         "stats", help="query a running 'repro serve' for counters or metrics")

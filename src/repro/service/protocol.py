@@ -375,7 +375,8 @@ class ServiceSession:
         explicit = _belief_matrix(request["beliefs"],
                                   snapshot.graph.num_nodes,
                                   coupling.num_classes)
-        spec = QuerySpec.from_request(request)
+        spec = QuerySpec.from_request(
+            request, defaults=self.service.default_spec)
         result = self.service.query(
             graph_name, coupling, explicit, spec,
             max_staleness=int(request.get("staleness", 0)))

@@ -99,6 +99,62 @@ SHARD_REPAIRS = counter(
     "Partition maintenance passes, by kind (incremental/full).")
 
 
+def _check_config_value(key: str, value: object) -> None:
+    """Validate one serving-config ``service`` value, naming the key.
+
+    Ranges the constructor would reject anyway are re-checked here so
+    the error message always carries the artifact's key name and the
+    accepted values — ``from_config`` errors must be actionable against
+    the JSON the operator is editing.
+    """
+
+    def reject(accepted: str) -> None:
+        raise ValidationError(
+            f"serving config key 'service.{key}' must be {accepted}, "
+            f"got {value!r}")
+
+    def is_int(minimum: int) -> bool:
+        return (isinstance(value, int) and not isinstance(value, bool)
+                and value >= minimum)
+
+    def is_number(minimum: float) -> bool:
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool) and value >= minimum)
+
+    if key == "shards":
+        if not is_int(1):
+            reject("an integer >= 1")
+    elif key == "shard_method":
+        if value not in ("bfs", "hash"):
+            reject("one of ['bfs', 'hash']")
+    elif key == "shard_executor":
+        if value not in ("pool", "sequential"):
+            reject("one of ['pool', 'sequential']")
+    elif key == "window_ms":
+        if not is_number(0.0):
+            reject("a number >= 0 (milliseconds; 0 disables coalescing)")
+    elif key == "max_batch":
+        if not is_int(1):
+            reject("an integer >= 1")
+    elif key == "result_cache_size":
+        if not is_int(0):
+            reject("an integer >= 0 (0 disables the result cache)")
+    elif key == "result_ttl_seconds":
+        if value is not None and not is_number(0.0):
+            reject("a number >= 0 or null (null keeps entries until "
+                   "LRU eviction)")
+    elif key == "snapshot_history":
+        if not is_int(0):
+            reject("an integer >= 0 (0 disables stale serving)")
+    elif key == "incremental_repartition":
+        if not isinstance(value, bool):
+            reject("true or false")
+    elif key == "repartition_drift":
+        if value is not None and not is_number(0.0):
+            reject("a number >= 0 or null (null disables the background "
+                   "re-partition)")
+
+
 @dataclass(frozen=True)
 class GraphSnapshot:
     """One immutable version of a registered graph.
@@ -293,6 +349,119 @@ class PropagationService:
         self._incremental_repartition = bool(incremental_repartition)
         self._repartition_drift = repartition_drift if repartition_drift \
             is None else float(repartition_drift)
+        #: Spec used for queries that pass ``spec=None``.  Plain
+        #: construction leaves it unset (``None`` → ``QuerySpec()``);
+        #: :meth:`from_config` installs the artifact's ``query`` section
+        #: here so a tuned service answers un-spec'd requests with its
+        #: tuned solver settings.
+        self.default_spec: Optional[QuerySpec] = None
+
+    # ------------------------------------------------------------------ #
+    # serving-config artifacts
+    # ------------------------------------------------------------------ #
+    #: Artifact schema version :meth:`from_config` accepts.
+    CONFIG_VERSION = 1
+    _CONFIG_TOP_KEYS = ("version", "kind", "service", "query", "meta")
+    #: Accepted ``service`` section keys.  ``window_ms`` is declared in
+    #: milliseconds (artifacts are human-edited JSON; 2.0 ms reads
+    #: better than 0.002 s) and mapped onto ``window_seconds`` here.
+    _CONFIG_SERVICE_KEYS = (
+        "shards", "shard_method", "shard_executor", "window_ms",
+        "max_batch", "result_cache_size", "result_ttl_seconds",
+        "snapshot_history", "incremental_repartition",
+        "repartition_drift")
+
+    @classmethod
+    def from_config(cls, config: Dict[str, object], *,
+                    clock: Callable[[], float] = time.monotonic
+                    ) -> "PropagationService":
+        """Build a service from a serving-config artifact.
+
+        ``config`` is the JSON document ``repro tune`` emits (and
+        ``repro serve --config`` loads)::
+
+            {"version": 1,
+             "kind": "repro-serving-config",        # optional
+             "service": {"shards": 1, "window_ms": 2.0, ...},
+             "query":   {"dtype": "float32", ...},  # optional
+             "meta":    {...}}                      # optional, ignored
+
+        Validation is strict and names what it rejects: unknown keys at
+        either level are errors listing the accepted keys, every value
+        error names the offending key and the accepted values, and the
+        required ``version`` field rejects artifacts from a future
+        schema instead of misreading them.  The optional ``query``
+        section becomes :attr:`default_spec` — the spec answering
+        queries that do not bring their own.
+        """
+        if not isinstance(config, dict):
+            raise ValidationError(
+                "serving config must be a JSON object, got "
+                f"{type(config).__name__}")
+        unknown = sorted(set(config) - set(cls._CONFIG_TOP_KEYS))
+        if unknown:
+            raise ValidationError(
+                f"serving config has unknown key(s) {unknown}; accepted "
+                f"keys: {sorted(cls._CONFIG_TOP_KEYS)}")
+        if "version" not in config:
+            raise ValidationError(
+                "serving config is missing the required 'version' field "
+                f"(current version: {cls.CONFIG_VERSION})")
+        version = config["version"]
+        if version != cls.CONFIG_VERSION or isinstance(version, bool):
+            raise ValidationError(
+                f"unsupported serving-config version {version!r}; this "
+                f"build accepts version {cls.CONFIG_VERSION}")
+        kind = config.get("kind", "repro-serving-config")
+        if kind != "repro-serving-config":
+            raise ValidationError(
+                f"serving config key 'kind' must be "
+                f"'repro-serving-config', got {kind!r}")
+        if "service" not in config:
+            raise ValidationError(
+                "serving config is missing the required 'service' section")
+        service = config["service"]
+        if not isinstance(service, dict):
+            raise ValidationError(
+                "serving config key 'service' must be an object, got "
+                f"{type(service).__name__}")
+        unknown = sorted(set(service) - set(cls._CONFIG_SERVICE_KEYS))
+        if unknown:
+            raise ValidationError(
+                f"serving config 'service' section has unknown key(s) "
+                f"{unknown}; accepted keys: "
+                f"{sorted(cls._CONFIG_SERVICE_KEYS)}")
+        kwargs: Dict[str, object] = {"clock": clock}
+        for key, value in service.items():
+            _check_config_value(key, value)
+            if key == "window_ms":
+                kwargs["window_seconds"] = float(value) / 1000.0
+            else:
+                kwargs[key] = value
+        query = config.get("query")
+        default_spec = None
+        if query is not None:
+            if not isinstance(query, dict):
+                raise ValidationError(
+                    "serving config key 'query' must be an object, got "
+                    f"{type(query).__name__}")
+            accepted = sorted(QuerySpec.__dataclass_fields__)
+            unknown = sorted(set(query) - set(accepted))
+            if unknown:
+                raise ValidationError(
+                    f"serving config 'query' section has unknown key(s) "
+                    f"{unknown}; accepted keys: {accepted}")
+            # QuerySpec.__post_init__ names the offending field and the
+            # accepted values in its own errors.
+            default_spec = QuerySpec(**query)
+        meta = config.get("meta")
+        if meta is not None and not isinstance(meta, dict):
+            raise ValidationError(
+                "serving config key 'meta' must be an object, got "
+                f"{type(meta).__name__}")
+        instance = cls(**kwargs)
+        instance.default_spec = default_spec
+        return instance
 
     # ------------------------------------------------------------------ #
     # graph registry and snapshots
@@ -427,7 +596,8 @@ class PropagationService:
                 DeprecationWarning, stacklevel=3)
             return QuerySpec(**legacy)
         if spec is None:
-            return QuerySpec()
+            return self.default_spec if self.default_spec is not None \
+                else QuerySpec()
         if not isinstance(spec, QuerySpec):
             raise ValidationError(
                 f"spec must be a QuerySpec, got {type(spec).__name__}")

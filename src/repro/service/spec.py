@@ -139,16 +139,25 @@ class QuerySpec:
     # construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_request(cls, request: Mapping) -> "QuerySpec":
+    def from_request(cls, request: Mapping,
+                     defaults: "Optional[QuerySpec]" = None) -> "QuerySpec":
         """Build a spec from a wire-protocol request object.
 
         Reads exactly the dataclass's field names from ``request``
         (other keys — ``op``, ``graph``, ``beliefs``, ... — are the
         transport's business and ignored here); missing fields keep
-        their defaults.  Validation happens in ``__post_init__``, so a
-        malformed field raises :class:`ValidationError` with the wire
-        error code ``validation``.
+        their defaults — the class defaults, or ``defaults``'s field
+        values when a base spec is given (how ``repro serve --config``
+        applies a tuned artifact's query section to requests that do
+        not bring their own settings).  Validation happens in
+        ``__post_init__``, so a malformed field raises
+        :class:`ValidationError` with the wire error code
+        ``validation``.
         """
-        kwargs = {field.name: request[field.name] for field in fields(cls)
-                  if field.name in request and request[field.name] is not None}
+        kwargs = {} if defaults is None else \
+            {field.name: getattr(defaults, field.name) for field in
+             fields(cls)}
+        kwargs.update(
+            {field.name: request[field.name] for field in fields(cls)
+             if field.name in request and request[field.name] is not None})
         return cls(**kwargs)

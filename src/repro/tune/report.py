@@ -1,0 +1,210 @@
+"""One-factor ablation analysis: metric deltas → ranked importance.
+
+The runner produces one :class:`~repro.tune.runner.RunRecord` per
+single-knob change from the baseline; this module turns those into an
+:class:`AblationReport` — a stable JSON document (schema below) plus a
+human-readable rendering — ranking each parameter by how much changing
+it *alone* moves the workload's headline metrics.
+
+Importance is deliberately simple and legible: for every variant the
+report computes the signed relative change vs the baseline for each
+headline metric (p99 latency, throughput, cache hit rate, sweeps), and
+a parameter's importance is the largest absolute relative change any of
+its admissible values produced on p99 or throughput.  A knob nobody
+should touch scores near zero; a knob that doubles p99 when flipped
+scores 1.0.  Skipped and failed variants are carried in the report with
+their reasons — an ablation that silently drops rows is not an
+ablation.
+
+JSON schema (``version`` 1)::
+
+    {"version": 1,
+     "kind": "repro-ablation-report",
+     "workload": "<description>",
+     "baseline": {"run_id", "config", "status", "metrics", "error"},
+     "parameters": [                       # ranked, most important first
+        {"name": "<parameter>",
+         "importance": 0.42 | null,        # null: no variant measured
+         "variants": [
+            {"parameter", "value", "run_id", "status", "error",
+             "metrics": {...} | null,
+             "deltas": {"p99_seconds": +0.1, ...} | null,  # relative
+             "score": 0.42 | null}]}]}
+
+All ordering is deterministic: parameters by (importance desc, name),
+variants in the space's declared value order — two runs of the same
+sweep render byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+from repro.tune.runner import RunRecord
+
+__all__ = ["AblationReport", "VariantDelta", "build_report",
+           "render_report", "REPORT_SCHEMA_VERSION"]
+
+REPORT_SCHEMA_VERSION = 1
+
+#: Metrics whose relative change vs baseline every variant reports.
+#: The first two are the *headline* pair importance is scored on.
+DELTA_METRICS = ("p99_seconds", "throughput_rps", "p50_seconds",
+                 "cache_hit_rate", "sweeps")
+_HEADLINE = ("p99_seconds", "throughput_rps")
+
+
+def _relative(candidate: float, baseline: float) -> float:
+    """Signed relative change; an absolute change when baseline is 0."""
+    if baseline == 0:
+        return float(candidate)
+    return (candidate - baseline) / abs(baseline)
+
+
+@dataclass(frozen=True)
+class VariantDelta:
+    """One single-knob change and how it moved the metrics."""
+
+    parameter: str
+    value: object
+    record: RunRecord
+    #: Relative metric changes vs the baseline (``None`` unless both
+    #: this variant and the baseline measured ok).
+    deltas: Optional[Dict[str, float]]
+    #: max |relative change| over the headline metrics.
+    score: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "run_id": self.record.run_id,
+            "status": self.record.status,
+            "error": self.record.error,
+            "metrics": (self.record.metrics.as_dict()
+                        if self.record.metrics else None),
+            "deltas": dict(self.deltas) if self.deltas is not None else None,
+            "score": self.score,
+        }
+
+
+@dataclass(frozen=True)
+class AblationReport:
+    """A ranked component-importance report over one ablation sweep."""
+
+    workload: str
+    baseline: RunRecord
+    #: ``(parameter_name, importance, variants)`` ranked most important
+    #: first; ``importance`` is ``None`` when no variant measured ok.
+    parameters: Tuple[Tuple[str, Optional[float],
+                            Tuple[VariantDelta, ...]], ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "kind": "repro-ablation-report",
+            "workload": self.workload,
+            "baseline": self.baseline.as_dict(),
+            "parameters": [
+                {"name": name,
+                 "importance": importance,
+                 "variants": [variant.as_dict() for variant in variants]}
+                for name, importance, variants in self.parameters],
+        }
+
+    def ranking(self) -> List[str]:
+        """Parameter names, most important first."""
+        return [name for name, _, _ in self.parameters]
+
+    def render(self) -> str:
+        return render_report(self)
+
+
+def build_report(baseline: RunRecord,
+                 runs: Sequence[Tuple[str, object, RunRecord]],
+                 workload: str = "") -> AblationReport:
+    """Assemble the ranked report from a finished one-factor sweep.
+
+    ``runs`` is exactly what
+    :meth:`~repro.tune.runner.AblationRunner.run_ablation` returned:
+    ``(parameter, value, record)`` triples in the space's declared
+    order, including skipped and failed records.
+    """
+    if baseline.status != "ok" or baseline.metrics is None:
+        raise ValidationError(
+            "cannot build an ablation report without a measured baseline "
+            f"(baseline run {baseline.run_id} is {baseline.status!r}"
+            + (f": {baseline.error}" if baseline.error else "") + ")")
+    base = baseline.metrics.as_dict()
+
+    by_parameter: Dict[str, List[VariantDelta]] = {}
+    order: List[str] = []
+    for parameter, value, record in runs:
+        if record.ok and record.metrics is not None:
+            candidate = record.metrics.as_dict()
+            deltas = {name: _relative(float(candidate[name]),
+                                      float(base[name]))
+                      for name in DELTA_METRICS}
+            score = max(abs(deltas[name]) for name in _HEADLINE)
+        else:
+            deltas, score = None, None
+        if parameter not in by_parameter:
+            by_parameter[parameter] = []
+            order.append(parameter)
+        by_parameter[parameter].append(VariantDelta(
+            parameter=parameter, value=value, record=record,
+            deltas=deltas, score=score))
+
+    ranked: List[Tuple[str, Optional[float], Tuple[VariantDelta, ...]]] = []
+    for parameter in order:
+        variants = tuple(by_parameter[parameter])
+        scores = [v.score for v in variants if v.score is not None]
+        ranked.append((parameter, max(scores) if scores else None, variants))
+    # Measured parameters first by importance descending; unmeasured
+    # (all skipped / failed) last; names break every tie.
+    ranked.sort(key=lambda item: (
+        item[1] is None, -(item[1] or 0.0), item[0]))
+    return AblationReport(workload=workload, baseline=baseline,
+                          parameters=tuple(ranked))
+
+
+def _format_value(value: object) -> str:
+    return "None" if value is None else str(value)
+
+
+def _format_delta(delta: Optional[float]) -> str:
+    if delta is None:
+        return "-"
+    return f"{delta:+.1%}"
+
+
+def render_report(report: AblationReport) -> str:
+    """The human-readable rendering: ranked table plus per-knob rows."""
+    base = report.baseline.metrics
+    lines = [
+        "Ablation report" + (f" — {report.workload}" if report.workload
+                             else ""),
+        f"baseline {report.baseline.run_id}: "
+        f"p99 {base.p99_seconds * 1000.0:.2f}ms, "
+        f"throughput {base.throughput_rps:.1f} req/s, "
+        f"cache hit rate {base.cache_hit_rate:.0%}, "
+        f"sweeps {base.sweeps}",
+        "",
+        f"{'rank':>4}  {'parameter':<24} {'importance':>10}  detail",
+    ]
+    for rank, (name, importance, variants) in enumerate(report.parameters,
+                                                        start=1):
+        shown = "-" if importance is None else f"{importance:.1%}"
+        lines.append(f"{rank:>4}  {name:<24} {shown:>10}")
+        for variant in variants:
+            if variant.deltas is not None:
+                detail = (f"p99 {_format_delta(variant.deltas['p99_seconds'])}"
+                          f", thr "
+                          f"{_format_delta(variant.deltas['throughput_rps'])}")
+            else:
+                detail = f"{variant.record.status}: {variant.record.error}"
+            lines.append(f"      {'':<24} {'':>10}  "
+                         f"= {_format_value(variant.value):<12} {detail}")
+    return "\n".join(lines) + "\n"

@@ -113,8 +113,82 @@ class TestSuites:
         try:
             import bench_record
             for name in ("BENCH_sbp.json", "BENCH_shard.json",
-                         "BENCH_precision.json"):
+                         "BENCH_precision.json", "BENCH_tune.json"):
                 baseline = bench_record.load_baseline(REPO_ROOT / name)
                 assert baseline["kernels"]
         finally:
             sys.path.remove(str(SCRIPT.parent))
+
+
+class TestSuiteRegistry:
+    """The single-registry contract: registering a suite IS wiring it.
+
+    A benchmark suite that exists on disk but was never registered (or
+    half-registered: missing baseline, dangling target) must fail here,
+    not silently drop out of ``--suite all`` and the CI smoke jobs.
+    """
+
+    @staticmethod
+    def _registry():
+        sys.path.insert(0, str(SCRIPT.parent))
+        try:
+            import bench_record
+            return bench_record
+        finally:
+            sys.path.remove(str(SCRIPT.parent))
+
+    def test_every_committed_baseline_belongs_to_a_suite(self):
+        bench_record = self._registry()
+        registered = {suite["baseline"]
+                      for suite in bench_record.SUITES.values()}
+        committed = {path.name for path in REPO_ROOT.glob("BENCH_*.json")}
+        assert committed == registered, (
+            "committed BENCH_*.json files and registered suite baselines "
+            f"disagree: only committed {sorted(committed - registered)}, "
+            f"only registered {sorted(registered - committed)}")
+
+    def test_every_suite_target_exists(self):
+        bench_record = self._registry()
+        for name, suite in bench_record.SUITES.items():
+            for target in suite["targets"]:
+                assert (REPO_ROOT / target).exists(), (
+                    f"suite {name!r} names a missing target {target!r}")
+
+    def test_baselines_are_not_shared_between_suites(self):
+        bench_record = self._registry()
+        baselines = [suite["baseline"]
+                     for suite in bench_record.SUITES.values()]
+        assert len(baselines) == len(set(baselines))
+
+    def test_tune_suite_is_registered(self):
+        bench_record = self._registry()
+        assert bench_record.SUITES["tune"]["baseline"] == "BENCH_tune.json"
+        assert bench_record.SUITES["tune"]["targets"] == [
+            "benchmarks/test_bench_tune.py"]
+
+    def test_suite_help_derives_from_registry(self):
+        bench_record = self._registry()
+        help_text = bench_record.suite_help()
+        for name, suite in bench_record.SUITES.items():
+            assert name in help_text
+            assert suite["baseline"] in help_text
+        assert bench_record.ALL_SUITES in help_text
+
+    def test_unknown_suite_error_lists_every_registered_name(self):
+        bench_record = self._registry()
+        completed = _run("--compare", "--suite", "turbo")
+        assert completed.returncode != 0
+        for name in bench_record.SUITES:
+            assert name in completed.stderr
+
+    def test_duplicate_registration_rejected(self):
+        import pytest
+
+        bench_record = self._registry()
+        with pytest.raises(ValueError, match="already registered"):
+            bench_record.register_suite(
+                "engine", ["benchmarks/test_bench_engine_batch.py"],
+                "BENCH_dup.json", "duplicate")
+        with pytest.raises(ValueError, match="pseudo-suite"):
+            bench_record.register_suite(
+                bench_record.ALL_SUITES, ["x"], "BENCH_x.json", "x")

@@ -509,3 +509,122 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "does-not-exist"])
+
+
+def _fresh_artifact(tmp_path, **service_overrides):
+    service = {
+        "shards": 1, "shard_method": "bfs", "shard_executor": "sequential",
+        "window_ms": 0.0, "max_batch": 16, "result_cache_size": 256,
+        "result_ttl_seconds": 300.0, "snapshot_history": 4,
+        "incremental_repartition": True, "repartition_drift": None,
+    }
+    service.update(service_overrides)
+    path = tmp_path / "tuned.json"
+    path.write_text(json.dumps({
+        "version": 1, "kind": "repro-serving-config", "service": service,
+        "query": {"dtype": "float64", "precision": "strict",
+                  "tolerance": 1e-8},
+    }))
+    return path
+
+
+class TestServeConfig:
+    def test_serve_config_loads_artifact(self, capsys, monkeypatch, tmp_path):
+        import io
+        import sys
+
+        artifact = _fresh_artifact(tmp_path)
+        requests = "\n".join([
+            json.dumps({"op": "load_graph", "name": "g",
+                        "edges": [[0, 1], [1, 2]]}),
+            json.dumps({"op": "load_coupling", "name": "h",
+                        "stochastic": [[0.9, 0.1], [0.1, 0.9]],
+                        "epsilon": 0.2}),
+            json.dumps({"op": "query", "graph": "g", "coupling": "h",
+                        "beliefs": [[0, 0, 0.1]]}),
+            json.dumps({"op": "shutdown"}),
+        ])
+        monkeypatch.setattr(sys, "stdin", io.StringIO(requests))
+        exit_code = main(["serve", "--config", str(artifact)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert f"configuration from {artifact}" in captured.err
+        assert "ok query method=LinBP" in captured.out
+
+    def test_serve_config_refuses_knob_flag_mix(self, capsys, tmp_path):
+        artifact = _fresh_artifact(tmp_path)
+        exit_code = main(["serve", "--config", str(artifact),
+                          "--max-batch", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--config replaces --max-batch" in captured.err
+
+    def test_serve_config_rejects_bad_artifact(self, capsys, tmp_path):
+        path = tmp_path / "tuned.json"
+        path.write_text(json.dumps({
+            "version": 1, "service": {"batch_window": 2.0}}))
+        exit_code = main(["serve", "--config", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "batch_window" in captured.err
+        assert "window_ms" in captured.err
+
+
+class TestTuneCommands:
+    """``repro tune`` / ``repro ablate`` end to end, at tiny sizes."""
+
+    ARGS = ["--nodes", "60", "--clients", "2", "--requests-per-client", "3",
+            "--max-iterations", "10", "--seed", "0"]
+
+    def test_ablate_renders_ranked_report(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        exit_code = main(["ablate", *self.ARGS, "--json", str(report_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Ablation report" in captured.out
+        assert "baseline run-" in captured.out
+        # Sharded moves are gated out on a 60-node graph, with reasons.
+        assert "skipped" in captured.out
+        document = json.loads(report_path.read_text())
+        assert document["version"] == 1
+        assert document["kind"] == "repro-ablation-report"
+        assert document["baseline"]["status"] == "ok"
+        names = [entry["name"] for entry in document["parameters"]]
+        assert "window_ms" in names and "tolerance" in names
+
+    def test_tune_emits_consumable_artifact(self, capsys, tmp_path):
+        from repro.service import PropagationService
+
+        output = tmp_path / "tuned.json"
+        exit_code = main(["tune", *self.ARGS, "--rounds", "1",
+                          "--output", str(output)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "selected run-" in captured.out
+        assert f"repro serve --config {output}" in captured.out
+        artifact = json.loads(output.read_text())
+        assert artifact["kind"] == "repro-serving-config"
+        # The headline guarantee: the emitted artifact must feed straight
+        # back into the serving layer.
+        service = PropagationService.from_config(artifact)
+        try:
+            assert service.default_spec is not None
+        finally:
+            service.close()
+
+    def test_tune_engine_workload(self, capsys, tmp_path):
+        output = tmp_path / "tuned.json"
+        exit_code = main(["tune", *self.ARGS, "--workload", "engine",
+                          "--rounds", "1", "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.rounds == 2
+        assert args.margin == 0.02
+        assert str(args.output) == "tuned.json"
+        assert args.workload == "mixed"
+        args = build_parser().parse_args(["ablate"])
+        assert args.json is None
+        assert args.run_timeout == 120.0
